@@ -1,0 +1,46 @@
+// Reproduces Appendix G (Figure 21): ResAcc query time as the hop
+// parameter h varies in {1..6}, against FORA's (h-independent) time, on a
+// small (Web-Stan) and a large (Pokec) stand-in.
+// Paper shape: a U with the minimum at h = 2; small h <= 4 beats FORA.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "resacc/algo/fora.h"
+#include "resacc/core/resacc_solver.h"
+
+int main() {
+  using namespace resacc;
+  using namespace resacc::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintPreamble("Figure 21: effect of h in ResAcc", env);
+
+  const auto datasets = LoadDatasets({"webstan-sim", "pokec-sim"}, env);
+  for (const auto& ds : datasets) {
+    const RwrConfig config = BenchConfig(ds.graph, env.seed);
+    Fora fora(ds.graph, config, {});
+    const double fora_seconds = AverageQuerySeconds(fora, ds.sources);
+
+    std::printf("%s (FORA reference: %s):\n", DatasetLabel(ds).c_str(),
+                FmtSeconds(fora_seconds).c_str());
+    TextTable table({"h", "ResAcc avg query", "hop-set size",
+                     "frontier size", "vs FORA"});
+    for (std::uint32_t h = 1; h <= 6; ++h) {
+      ResAccOptions options;
+      options.num_hops = h;
+      // The sweep studies raw h; the adaptive hop-set cap would clamp the
+      // large-h side of the curve.
+      options.max_hop_set_fraction = 0.0;
+      ResAccSolver resacc(ds.graph, config, options);
+      const double seconds = AverageQuerySeconds(resacc, ds.sources);
+      const auto& stats = resacc.last_stats();
+      table.AddRow({std::to_string(h), FmtSeconds(seconds),
+                    std::to_string(stats.hhop.hop_set_size),
+                    std::to_string(stats.hhop.frontier_size),
+                    Fmt(fora_seconds / seconds, 3) + "x"});
+    }
+    table.Print(stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

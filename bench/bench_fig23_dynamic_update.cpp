@@ -1,0 +1,94 @@
+// Reproduces Appendix I (Figure 23): per-node-deletion index maintenance
+// cost. The index-oriented methods rebuild from scratch (what the paper
+// measures); ResAcc's cost is zero. Averaged over a few random deletions.
+
+#include <cstdio>
+#include <utility>
+
+#include "bench/bench_common.h"
+#include "resacc/algo/bepi.h"
+#include "resacc/algo/fora_plus.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/graph/graph_builder.h"
+#include "resacc/util/rng.h"
+
+namespace {
+
+resacc::Graph RemoveNode(const resacc::Graph& g, resacc::NodeId removed) {
+  resacc::GraphBuilder builder(g.num_nodes());
+  for (resacc::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == removed) continue;
+    for (resacc::NodeId v : g.OutNeighbors(u)) {
+      if (v != removed) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace resacc;
+  using namespace resacc::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintPreamble("Figure 23: index update cost per node deletion", env);
+
+  const std::size_t deletions =
+      static_cast<std::size_t>(GetEnvInt("RESACC_DELETIONS", 3));
+  const auto datasets =
+      LoadDatasets({"dblp-sim", "webstan-sim", "pokec-sim", "lj-sim"}, env);
+
+  TextTable table({"Dataset", "BePI rebuild", "TPA rebuild", "FORA+ rebuild",
+                   "ResAcc"});
+  for (const auto& ds : datasets) {
+    Rng rng(env.seed ^ 0xde1);
+    double bepi_seconds = 0.0;
+    double tpa_seconds = 0.0;
+    double fora_plus_seconds = 0.0;
+    bool bepi_ok = true;
+    bool tpa_ok = true;
+    bool fora_plus_ok = true;
+
+    for (std::size_t i = 0; i < deletions; ++i) {
+      const NodeId removed = rng.NextBounded32(ds.graph.num_nodes());
+      const Graph updated = RemoveNode(ds.graph, removed);
+      const RwrConfig config = BenchConfig(updated, env.seed);
+
+      // BePI's rebuild costs tens of seconds (dense Schur); measuring it
+      // once per dataset is representative — the rebuild does not depend
+      // on which node was deleted.
+      if (i == 0) {
+        BePiOptions options;
+        options.memory_budget_bytes = env.memory_budget_bytes;
+        BePi bepi(updated, config, options);
+        Timer t;
+        bepi_ok = bepi.BuildIndex().ok();
+        bepi_seconds = t.ElapsedSeconds() * static_cast<double>(deletions);
+      }
+      {
+        TpaOptions options;
+        Tpa tpa(updated, config, options);
+        Timer t;
+        tpa_ok = tpa_ok && tpa.BuildIndex().ok();
+        tpa_seconds += t.ElapsedSeconds();
+      }
+      {
+        ForaPlusOptions options;
+        options.memory_budget_bytes = env.memory_budget_bytes;
+        ForaPlus fora_plus(updated, config, options);
+        Timer t;
+        fora_plus_ok = fora_plus_ok && fora_plus.BuildIndex().ok();
+        fora_plus_seconds += t.ElapsedSeconds();
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(deletions);
+    table.AddRow({DatasetLabel(ds),
+                  bepi_ok ? FmtSeconds(bepi_seconds * inv) : "o.o.m",
+                  tpa_ok ? FmtSeconds(tpa_seconds * inv) : "o.o.m",
+                  fora_plus_ok ? FmtSeconds(fora_plus_seconds * inv)
+                               : "o.o.m",
+                  "0 (index-free)"});
+  }
+  table.Print(stdout);
+  return 0;
+}

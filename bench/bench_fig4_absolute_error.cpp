@@ -1,0 +1,88 @@
+// Reproduces Figure 4 (and Appendix A / Figure 11 for Web-Stan): average
+// absolute error of the k-th largest RWR value, k in {1, 10, ..., 1e5},
+// for each accuracy-guaranteeing algorithm plus TPA/BePI.
+// Paper shape: ResAcc's error among the smallest everywhere, orders of
+// magnitude below FORA/MC on the large graphs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "resacc/algo/bepi.h"
+#include "resacc/algo/fora.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/topppr.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/ground_truth.h"
+#include "resacc/eval/metrics.h"
+
+int main() {
+  using namespace resacc;
+  using namespace resacc::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintPreamble("Figure 4 / Figure 11: absolute error of k-th largest value",
+                env);
+
+  const auto datasets = LoadDatasets(
+      {"dblp-sim", "webstan-sim", "pokec-sim", "twitter-sim"}, env);
+  const std::vector<std::size_t> ks = {1, 10, 100, 1000, 10000, 100000};
+
+  for (const auto& ds : datasets) {
+    const RwrConfig config = BenchConfig(ds.graph, env.seed);
+    GroundTruthCache truth(ds.graph, config);
+
+    MonteCarlo mc(ds.graph, config);
+    Fora fora(ds.graph, config, {});
+    TopPpr topppr(ds.graph, config, {});
+    TpaOptions tpa_options;
+    Tpa tpa(ds.graph, config, tpa_options);
+    const bool tpa_ok = tpa.BuildIndex().ok();
+    BePiOptions bepi_options;
+    bepi_options.memory_budget_bytes = env.memory_budget_bytes;
+    BePi bepi(ds.graph, config, bepi_options);
+    const bool bepi_ok = bepi.BuildIndex().ok();
+
+    std::printf("%s:\n", DatasetLabel(ds).c_str());
+    TextTable table({"k", "MC", "FORA", "TopPPR", "TPA", "BePI", "ResAcc"});
+
+    ResAccOptions resacc_options;
+    resacc_options.num_hops =
+        static_cast<std::uint32_t>(ds.spec.sim_hops);
+    ResAccSolver resacc(ds.graph, config, resacc_options);
+
+    // Accumulate per-k errors averaged over sources.
+    std::vector<std::vector<double>> errors(6,
+                                            std::vector<double>(ks.size()));
+    for (NodeId s : ds.sources) {
+      const std::vector<Score>& exact = truth.Get(s);
+      const std::vector<Score> est_mc = mc.Query(s);
+      const std::vector<Score> est_fora = fora.Query(s);
+      const std::vector<Score> est_topppr = topppr.Query(s);
+      const std::vector<Score> est_tpa =
+          tpa_ok ? tpa.Query(s) : std::vector<Score>();
+      const std::vector<Score> est_bepi =
+          bepi_ok ? bepi.Query(s) : std::vector<Score>();
+      const std::vector<Score> est_resacc = resacc.Query(s);
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        errors[0][i] += AbsErrorAtK(est_mc, exact, ks[i]);
+        errors[1][i] += AbsErrorAtK(est_fora, exact, ks[i]);
+        errors[2][i] += AbsErrorAtK(est_topppr, exact, ks[i]);
+        if (tpa_ok) errors[3][i] += AbsErrorAtK(est_tpa, exact, ks[i]);
+        if (bepi_ok) errors[4][i] += AbsErrorAtK(est_bepi, exact, ks[i]);
+        errors[5][i] += AbsErrorAtK(est_resacc, exact, ks[i]);
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(ds.sources.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      table.AddRow({std::to_string(ks[i]), Fmt(errors[0][i] * inv),
+                    Fmt(errors[1][i] * inv), Fmt(errors[2][i] * inv),
+                    tpa_ok ? Fmt(errors[3][i] * inv) : "o.o.m",
+                    bepi_ok ? Fmt(errors[4][i] * inv) : "o.o.m",
+                    Fmt(errors[5][i] * inv)});
+    }
+    table.Print(stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figures 7-10: the *distribution* (not just the mean) of query
+// time, absolute error, and NDCG across query nodes, as boxplot
+// five-number summaries (Figs. 7-8) and mean +/- stddev error bars
+// (Figs. 9-10), on the DBLP and Twitter stand-ins.
+// Paper shape: ResAcc has the smallest maxima and lowest variability.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "resacc/algo/bepi.h"
+#include "resacc/algo/fora.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/topppr.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/ground_truth.h"
+#include "resacc/eval/metrics.h"
+#include "resacc/util/stats.h"
+
+int main() {
+  using namespace resacc;
+  using namespace resacc::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintPreamble(
+      "Figures 7-10: per-source distribution (boxplot & error bar)", env);
+
+  const auto datasets = LoadDatasets({"dblp-sim", "twitter-sim"}, env);
+  for (const auto& ds : datasets) {
+    const RwrConfig config = BenchConfig(ds.graph, env.seed);
+    GroundTruthCache truth(ds.graph, config);
+
+    MonteCarlo mc(ds.graph, config);
+    Fora fora(ds.graph, config, {});
+    TopPpr topppr(ds.graph, config, {});
+    Tpa tpa(ds.graph, config, {});
+    const bool tpa_ok = tpa.BuildIndex().ok();
+    BePiOptions bepi_options;
+    bepi_options.memory_budget_bytes = env.memory_budget_bytes;
+    BePi bepi(ds.graph, config, bepi_options);
+    const bool bepi_ok = bepi.BuildIndex().ok();
+    ResAccOptions resacc_options;
+    resacc_options.num_hops =
+        static_cast<std::uint32_t>(ds.spec.sim_hops);
+    ResAccSolver resacc(ds.graph, config, resacc_options);
+
+    struct Entry {
+      const char* label;
+      SsrwrAlgorithm* algo;
+      bool available;
+    };
+    const std::vector<Entry> entries = {
+        {"MC", &mc, true},           {"BePI", &bepi, bepi_ok},
+        {"FORA", &fora, true},       {"TopPPR", &topppr, true},
+        {"TPA", &tpa, tpa_ok},       {"ResAcc", &resacc, true},
+    };
+
+    std::printf("%s (min/Q1/median/Q3/max, then mean +/- sd):\n",
+                DatasetLabel(ds).c_str());
+    TextTable table({"algorithm", "query time", "abs error", "ndcg@1000"});
+    for (const Entry& entry : entries) {
+      if (!entry.available) {
+        table.AddRow({entry.label, "o.o.m", "o.o.m", "o.o.m"});
+        continue;
+      }
+      std::vector<double> times;
+      std::vector<double> errors;
+      std::vector<double> ndcgs;
+      for (NodeId s : ds.sources) {
+        Timer t;
+        const std::vector<Score> estimate = entry.algo->Query(s);
+        times.push_back(t.ElapsedSeconds());
+        const std::vector<Score>& exact = truth.Get(s);
+        errors.push_back(MeanAbsError(estimate, exact));
+        ndcgs.push_back(NdcgAtK(estimate, exact, 1000));
+      }
+      table.AddRow({entry.label, Summarize(times).ToString(),
+                    Summarize(errors).ToString(),
+                    Summarize(ndcgs).ToString()});
+    }
+    table.Print(stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

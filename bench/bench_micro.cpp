@@ -1,0 +1,125 @@
+// Google-benchmark micro suite for the library's kernels: push operations,
+// random walks, BFS hop layers, generators, and the dense/sparse LA
+// substrate. These guard the constants behind the paper-level numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/random_walk.h"
+#include "resacc/graph/generators.h"
+#include "resacc/graph/hop_layers.h"
+#include "resacc/la/dense_matrix.h"
+#include "resacc/la/sparse_matrix.h"
+#include "resacc/util/alias_table.h"
+#include "resacc/util/rng.h"
+
+namespace {
+
+using namespace resacc;
+
+const Graph& BenchGraph() {
+  static const Graph& graph =
+      *new Graph(ChungLuPowerLaw(50000, 500000, 2.2, 7));
+  return graph;
+}
+
+RwrConfig BenchConfig() {
+  RwrConfig config = RwrConfig::ForGraphSize(BenchGraph().num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  return config;
+}
+
+void BM_ForwardSearch(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const RwrConfig config = BenchConfig();
+  const Score r_max = std::pow(10.0, -static_cast<double>(state.range(0)));
+  PushState push_state(g.num_nodes());
+  std::uint64_t pushes = 0;
+  for (auto _ : state) {
+    push_state.Reset();
+    push_state.SetResidue(0, 1.0);
+    const NodeId seeds[] = {NodeId{0}};
+    pushes += RunForwardSearch(g, config, 0, r_max, seeds, false, push_state)
+                  .push_operations;
+  }
+  state.counters["pushes/iter"] = benchmark::Counter(
+      static_cast<double>(pushes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ForwardSearch)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_RandomWalks(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const RwrConfig config = BenchConfig();
+  Rng rng(3);
+  WalkStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RandomWalkTerminal(g, config, 0, 0, rng, stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.walks));
+}
+BENCHMARK(BM_RandomWalks);
+
+void BM_HopLayers(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeHopLayers(g, NodeId{0},
+                         static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_HopLayers)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ChungLuGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ChungLuPowerLaw(static_cast<NodeId>(state.range(0)),
+                        static_cast<EdgeId>(state.range(0)) * 10, 2.2, 5));
+  }
+}
+BENCHMARK(BM_ChungLuGenerate)->Arg(10000)->Arg(50000);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  std::vector<double> weights(100000);
+  Rng rng(1);
+  for (double& w : weights) w = rng.NextDouble() + 0.01;
+  const AliasTable table(weights);
+  Rng sample_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(sample_rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const SparseMatrix pt = TransitionMatrixTranspose(g);
+  std::vector<double> x(g.num_nodes(), 1.0 / g.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.MultiplyVector(x));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(pt.nnz()));
+}
+BENCHMARK(BM_SparseMatVec);
+
+void BM_DenseLuFactor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a.At(r, c) = rng.NextDouble();
+    a.At(r, r) += static_cast<double>(n);  // diagonally dominant
+  }
+  for (auto _ : state) {
+    DenseMatrix copy = a;
+    const LuDecomposition lu(std::move(copy));
+    benchmark::DoNotOptimize(lu.ok());
+  }
+}
+BENCHMARK(BM_DenseLuFactor)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

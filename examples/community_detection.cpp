@@ -1,0 +1,80 @@
+// Overlapping community detection with NISE + ResAcc (the paper's
+// application experiment, Section VII-H): seed by spread hubs, expand each
+// seed with an SSRWR query, cut by conductance, and report quality.
+
+#include <cstdio>
+
+#include "resacc/algo/fora.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/community_metrics.h"
+#include "resacc/graph/generators.h"
+#include "resacc/nise/nise.h"
+#include "resacc/util/table.h"
+
+int main() {
+  using namespace resacc;
+
+  // A network with 25 planted communities of 400 nodes each.
+  const Graph graph = PlantedPartition(/*num_nodes=*/10000, /*num_blocks=*/25,
+                                       /*deg_in=*/16.0, /*deg_out=*/2.0,
+                                       /*seed=*/11);
+  std::printf("graph: %u nodes, %llu edges, 25 planted communities\n\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+
+  NiseOptions options;
+  options.num_communities = 25;
+
+  TextTable table({"solver", "ssrwr time", "avg ncut", "avg conductance",
+                   "communities", "avg size"});
+  auto report = [&](const char* label, SsrwrAlgorithm& solver,
+                    bool use_ssrwr) {
+    NiseOptions run_options = options;
+    run_options.use_ssrwr_ordering = use_ssrwr;
+    const NiseResult result = Nise(graph, run_options).Detect(solver);
+    std::size_t total_size = 0;
+    for (const auto& community : result.communities) {
+      total_size += community.size();
+    }
+    table.AddRow(
+        {label, FmtSeconds(result.ssrwr_seconds),
+         Fmt(AverageNormalizedCut(graph, result.communities)),
+         Fmt(AverageConductance(graph, result.communities)),
+         std::to_string(result.communities.size()),
+         std::to_string(result.communities.empty()
+                            ? 0
+                            : total_size / result.communities.size())});
+  };
+
+  ResAccSolver resacc(graph, config, ResAccOptions{});
+  Fora fora(graph, config, ForaOptions{});
+  report("NISE + ResAcc", resacc, /*use_ssrwr=*/true);
+  report("NISE + FORA", fora, /*use_ssrwr=*/true);
+  report("NISE w/o SSRWR", resacc, /*use_ssrwr=*/false);
+
+  // Neighbourhood-inflated expansion (the published NISE's variant):
+  // each seed expands from {seed} + N(seed) via a seed-set query.
+  {
+    const NiseResult inflated = Nise(graph, options).DetectInflated(config);
+    std::size_t total_size = 0;
+    for (const auto& community : inflated.communities) {
+      total_size += community.size();
+    }
+    table.AddRow(
+        {"NISE inflated", FmtSeconds(inflated.ssrwr_seconds),
+         Fmt(AverageNormalizedCut(graph, inflated.communities)),
+         Fmt(AverageConductance(graph, inflated.communities)),
+         std::to_string(inflated.communities.size()),
+         std::to_string(inflated.communities.empty()
+                            ? 0
+                            : total_size / inflated.communities.size())});
+  }
+  table.Print(stdout);
+
+  std::printf("\nlower cut/conductance = better communities; the SSRWR-driven\n"
+              "orderings should clearly beat the BFS-distance ordering.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Side-by-side comparison of every SSRWR solver in the library on one
+// graph: query time, walk/push effort, and accuracy against ground truth.
+// A miniature of the paper's Table III + Figure 4 pipeline.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "resacc/algo/fora.h"
+#include "resacc/algo/fora_plus.h"
+#include "resacc/algo/forward_search_solver.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/particle_filter.h"
+#include "resacc/algo/power.h"
+#include "resacc/algo/topppr.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/ground_truth.h"
+#include "resacc/eval/metrics.h"
+#include "resacc/eval/sources.h"
+#include "resacc/graph/generators.h"
+#include "resacc/util/table.h"
+#include "resacc/util/timer.h"
+
+int main() {
+  using namespace resacc;
+
+  const Graph graph = ChungLuPowerLaw(/*num_nodes=*/20000,
+                                      /*num_edges=*/200000,
+                                      /*exponent=*/2.15, /*seed=*/3);
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;  // exact for indexed solvers too
+  std::printf("graph: %u nodes, %llu edges; alpha=%.2f eps=%.2f "
+              "delta=pf=1/n\n\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              config.alpha, config.epsilon);
+
+  GroundTruthCache truth(graph, config);
+  const std::vector<NodeId> sources = PickUniformSources(graph, 5, 99);
+
+  std::vector<std::unique_ptr<SsrwrAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<PowerIteration>(graph, config, 1e-9));
+  algorithms.push_back(
+      std::make_unique<ForwardSearchSolver>(graph, config, 1e-9));
+  algorithms.push_back(std::make_unique<MonteCarlo>(graph, config));
+  algorithms.push_back(std::make_unique<Fora>(graph, config));
+  algorithms.push_back(std::make_unique<TopPpr>(graph, config));
+  algorithms.push_back(std::make_unique<ParticleFilter>(graph, config));
+  algorithms.push_back(std::make_unique<ResAccSolver>(graph, config,
+                                                      ResAccOptions{}));
+
+  auto fora_plus = std::make_unique<ForaPlus>(graph, config);
+  auto tpa = std::make_unique<Tpa>(graph, config);
+  {
+    Timer t;
+    if (fora_plus->BuildIndex().ok()) {
+      std::printf("FORA+ index: %s built in %s\n",
+                  FmtBytes(static_cast<double>(fora_plus->IndexBytes())).c_str(),
+                  FmtSeconds(t.ElapsedSeconds()).c_str());
+      algorithms.push_back(std::move(fora_plus));
+    }
+    t.Restart();
+    if (tpa->BuildIndex().ok()) {
+      std::printf("TPA index:   %s built in %s\n\n",
+                  FmtBytes(static_cast<double>(tpa->IndexBytes())).c_str(),
+                  FmtSeconds(t.ElapsedSeconds()).c_str());
+      algorithms.push_back(std::move(tpa));
+    }
+  }
+
+  TextTable table({"algorithm", "avg query", "mean abs err", "ndcg@100",
+                   "max rel err (pi>delta)"});
+  for (const auto& algo : algorithms) {
+    double seconds = 0.0;
+    double abs_err = 0.0;
+    double ndcg = 0.0;
+    double rel_err = 0.0;
+    for (NodeId s : sources) {
+      Timer t;
+      const std::vector<Score> estimate = algo->Query(s);
+      seconds += t.ElapsedSeconds();
+      const std::vector<Score>& exact = truth.Get(s);
+      abs_err += MeanAbsError(estimate, exact);
+      ndcg += NdcgAtK(estimate, exact, 100);
+      rel_err = std::max(
+          rel_err, MaxRelativeErrorAboveDelta(estimate, exact, config.delta));
+    }
+    const double inv = 1.0 / static_cast<double>(sources.size());
+    table.AddRow({algo->name(), FmtSeconds(seconds * inv),
+                  Fmt(abs_err * inv), Fmt(ndcg * inv), Fmt(rel_err)});
+  }
+  table.Print(stdout);
+  return 0;
+}

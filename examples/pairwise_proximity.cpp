@@ -1,0 +1,63 @@
+// Pairwise proximity with BiPPR: when only pi(s, t) for specific pairs is
+// needed (e.g. "how related are these two papers?"), BiPPR's backward push
+// + forward walks beat computing the full single-source vector. This
+// example compares BiPPR's pair estimates against a full ResAcc query and
+// the exact values.
+
+#include <cstdio>
+
+#include "resacc/algo/bippr.h"
+#include "resacc/algo/power.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/graph/generators.h"
+#include "resacc/util/rng.h"
+#include "resacc/util/table.h"
+#include "resacc/util/timer.h"
+
+int main() {
+  using namespace resacc;
+
+  const Graph graph = ChungLuPowerLaw(/*num_nodes=*/30000,
+                                      /*num_edges=*/240000,
+                                      /*exponent=*/2.2, /*seed=*/21,
+                                      /*symmetrize=*/true);
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;  // required by backward push
+  std::printf("graph: %u nodes, %llu edges\n\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  const NodeId source = 77;
+  PowerIteration power(graph, config, 1e-12);
+  const std::vector<Score> exact = power.Query(source);
+
+  // Targets: a close neighbour, a mid-ranked node, and a far node.
+  Rng rng(5);
+  std::vector<NodeId> targets = {graph.OutNeighbors(source)[0]};
+  targets.push_back(rng.NextBounded32(graph.num_nodes()));
+  targets.push_back(rng.NextBounded32(graph.num_nodes()));
+
+  BiPpr bippr(graph, config);
+  Timer full_timer;
+  ResAccSolver resacc(graph, config, ResAccOptions{});
+  const std::vector<Score> full = resacc.Query(source);
+  const double full_seconds = full_timer.ElapsedSeconds();
+
+  TextTable table({"pair", "exact", "BiPPR estimate", "BiPPR time",
+                   "ResAcc (full vector)"});
+  for (NodeId target : targets) {
+    Timer pair_timer;
+    const Score estimate = bippr.EstimatePair(source, target);
+    const double pair_seconds = pair_timer.ElapsedSeconds();
+    char pair[48];
+    std::snprintf(pair, sizeof(pair), "pi(%u, %u)", source, target);
+    table.AddRow({pair, Fmt(exact[target]), Fmt(estimate),
+                  FmtSeconds(pair_seconds), Fmt(full[target])});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nfull ResAcc vector took %s; each BiPPR pair is independent and\n"
+      "needs no index — use it when you only care about a handful of "
+      "pairs.\n",
+      FmtSeconds(full_seconds).c_str());
+  return 0;
+}

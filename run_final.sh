@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final deliverable runs: full test suite + every bench binary.
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo FINAL_RUNS_DONE

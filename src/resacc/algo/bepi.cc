@@ -1,0 +1,256 @@
+#include "resacc/algo/bepi.h"
+
+#include <algorithm>
+
+#include "resacc/algo/slashburn.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+BePi::BePi(const Graph& graph, const RwrConfig& config,
+           const BePiOptions& options)
+    : graph_(graph), config_(config), options_(options), name_("BePI") {
+  RESACC_CHECK(config_.Validate().ok());
+  if (options_.hubs_per_iteration == 0) {
+    options_.hubs_per_iteration =
+        std::max<NodeId>(4, graph.num_nodes() / 200);
+  }
+}
+
+Status BePi::BuildIndex() {
+  index_ready_ = false;
+  if (config_.dangling == DanglingPolicy::kBackToSource) {
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (graph_.OutDegree(u) == 0) {
+        return Status::FailedPrecondition(
+            "BePI factors cannot encode kBackToSource on graphs with "
+            "sinks; use DanglingPolicy::kAbsorb");
+      }
+    }
+  }
+
+  const NodeId n = graph_.num_nodes();
+  const double alpha = config_.alpha;
+
+  // 1. Hub-and-spoke ordering.
+  SlashBurnResult decomposition = RunSlashBurn(
+      graph_, options_.hubs_per_iteration, options_.max_block_size);
+  hub_count_ = decomposition.hubs.size();
+  spoke_count_ = decomposition.num_spoke_nodes();
+  RESACC_CHECK(hub_count_ + spoke_count_ == n);
+
+  // 2. Memory projection before any heavy allocation.
+  std::size_t projected = hub_count_ * hub_count_ * sizeof(double);
+  for (const auto& block : decomposition.spokes) {
+    projected += block.size() * block.size() * sizeof(double);
+  }
+  if (options_.memory_budget_bytes > 0 &&
+      projected > options_.memory_budget_bytes) {
+    return Status::ResourceExhausted(
+        "BePI dense factors exceed memory budget (" +
+        std::to_string(projected) + " bytes projected)");
+  }
+
+  // 3. New ordering: spoke blocks first (contiguous), hubs last.
+  new_order_.clear();
+  new_order_.reserve(n);
+  position_.assign(n, kInvalidNode);
+  blocks_.clear();
+  blocks_.reserve(decomposition.spokes.size());
+  block_of_.assign(spoke_count_, 0);
+  for (auto& block_nodes : decomposition.spokes) {
+    SpokeBlock block;
+    block.offset = new_order_.size();
+    for (NodeId v : block_nodes) {
+      block_of_[new_order_.size()] = static_cast<std::uint32_t>(blocks_.size());
+      position_[v] = static_cast<NodeId>(new_order_.size());
+      new_order_.push_back(v);
+    }
+    block.nodes = std::move(block_nodes);
+    blocks_.push_back(std::move(block));
+  }
+  for (NodeId hub : decomposition.hubs) {
+    position_[hub] = static_cast<NodeId>(new_order_.size());
+    new_order_.push_back(hub);
+  }
+
+  // 4. Assemble A = I - (1-alpha) Ptilde^T in the new order, split into
+  // the four blocks. A[pv][pu] -= (1-alpha)/d_out(u) per edge (u, v);
+  // sinks get a self loop (kAbsorb semantics, exact — see ExactInverse).
+  const std::size_t n1 = spoke_count_;
+  const std::size_t n2 = hub_count_;
+  h12_cols_.assign(n2, {});
+  h21_.assign(n2, {});
+  DenseMatrix schur(n2, n2);
+  for (std::size_t j = 0; j < n2; ++j) schur.At(j, j) = 1.0;
+  for (auto& block : blocks_) {
+    DenseMatrix dense(block.nodes.size(), block.nodes.size());
+    for (std::size_t i = 0; i < block.nodes.size(); ++i) dense.At(i, i) = 1.0;
+    block.factor = nullptr;
+    // Dense block contents are filled in the edge sweep below; stash the
+    // matrix temporarily via a local vector of matrices. To avoid a second
+    // sweep we fill directly here using edges of the block's nodes.
+    for (std::size_t local_u = 0; local_u < block.nodes.size(); ++local_u) {
+      const NodeId u = block.nodes[local_u];
+      const auto neighbors = graph_.OutNeighbors(u);
+      if (neighbors.empty()) {
+        dense.At(local_u, local_u) -= (1.0 - alpha);
+        continue;
+      }
+      const double w = (1.0 - alpha) / static_cast<double>(neighbors.size());
+      for (NodeId v : neighbors) {
+        const NodeId pv = position_[v];
+        if (pv < n1 && block_of_[pv] == block_of_[block.offset]) {
+          dense.At(pv - block.offset, local_u) -= w;
+        } else if (pv < n1) {
+          // Impossible by construction: two spoke blocks are disconnected.
+          RESACC_CHECK_MSG(false, "edge between distinct spoke blocks");
+        } else {
+          // Spoke -> hub coupling: row pv-n1 of H21, column = new spoke idx.
+          h21_[pv - n1].emplace_back(
+              static_cast<std::uint32_t>(block.offset + local_u), w);
+        }
+      }
+    }
+    block.factor = std::make_unique<LuDecomposition>(std::move(dense));
+    if (!block.factor->ok()) {
+      return Status::Internal("singular spoke block in BePI factorization");
+    }
+  }
+  // Hub rows: edges out of hubs couple into H12 (spoke rows) or H22.
+  for (std::size_t j = 0; j < n2; ++j) {
+    const NodeId u = new_order_[n1 + j];
+    const auto neighbors = graph_.OutNeighbors(u);
+    if (neighbors.empty()) {
+      schur.At(j, j) -= (1.0 - alpha);
+      continue;
+    }
+    const double w = (1.0 - alpha) / static_cast<double>(neighbors.size());
+    for (NodeId v : neighbors) {
+      const NodeId pv = position_[v];
+      if (pv < n1) {
+        h12_cols_[j].emplace_back(static_cast<std::uint32_t>(pv), w);
+      } else {
+        schur.At(pv - n1, j) -= w;
+      }
+    }
+  }
+
+  // 5. Schur complement S = H22 - H21 H11^{-1} H12, column by column.
+  // (Note the h21_/h12_ values store +w; the matrix entries are -w, and
+  // the two sign flips cancel in H21 H11^{-1} H12, so the correction is
+  // subtracted as computed.)
+  std::vector<double> column(n1, 0.0);
+  for (std::size_t j = 0; j < n2; ++j) {
+    if (h12_cols_[j].empty()) continue;
+    std::fill(column.begin(), column.end(), 0.0);
+    for (const auto& [row, w] : h12_cols_[j]) {
+      column[row] = -w;  // H12 entry is -w
+    }
+    SolveSpoke(column);  // column = H11^{-1} H12[:, j]
+    for (std::size_t r = 0; r < n2; ++r) {
+      double dot = 0.0;
+      for (const auto& [col, w] : h21_[r]) {
+        dot += (-w) * column[col];  // H21 entry is -w
+      }
+      schur.At(r, j) -= dot;
+    }
+  }
+
+  schur_factor_ = std::make_unique<LuDecomposition>(std::move(schur));
+  if (!schur_factor_->ok()) {
+    return Status::Internal("singular Schur complement in BePI");
+  }
+  index_ready_ = true;
+  return Status::Ok();
+}
+
+void BePi::SolveSpoke(std::vector<double>& b) const {
+  RESACC_CHECK(b.size() == spoke_count_);
+  std::vector<double> local;
+  for (const auto& block : blocks_) {
+    const std::size_t size = block.nodes.size();
+    bool any = false;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (b[block.offset + i] != 0.0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    local.assign(b.begin() + static_cast<long>(block.offset),
+                 b.begin() + static_cast<long>(block.offset + size));
+    const std::vector<double> solved = block.factor->Solve(local);
+    std::copy(solved.begin(), solved.end(),
+              b.begin() + static_cast<long>(block.offset));
+  }
+}
+
+std::size_t BePi::IndexBytes() const {
+  std::size_t bytes = 0;
+  if (schur_factor_ != nullptr) bytes += schur_factor_->MemoryBytes();
+  for (const auto& block : blocks_) {
+    if (block.factor != nullptr) bytes += block.factor->MemoryBytes();
+  }
+  for (const auto& col : h12_cols_) {
+    bytes += col.size() * sizeof(std::pair<std::uint32_t, double>);
+  }
+  for (const auto& row : h21_) {
+    bytes += row.size() * sizeof(std::pair<std::uint32_t, double>);
+  }
+  bytes += new_order_.size() * sizeof(NodeId) * 2;
+  return bytes;
+}
+
+std::vector<Score> BePi::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  RESACC_CHECK_MSG(index_ready_, "call BuildIndex() first");
+  const std::size_t n1 = spoke_count_;
+  const std::size_t n2 = hub_count_;
+
+  // Permuted RHS b = alpha * e_source.
+  std::vector<double> b1(n1, 0.0);
+  std::vector<double> b2(n2, 0.0);
+  const NodeId pos = position_[source];
+  if (pos < n1) {
+    b1[pos] = config_.alpha;
+  } else {
+    b2[pos - n1] = config_.alpha;
+  }
+
+  // y1 = H11^{-1} b1.
+  std::vector<double> y1 = b1;
+  SolveSpoke(y1);
+
+  // rhs2 = b2 - H21 y1; x2 = S^{-1} rhs2.
+  for (std::size_t r = 0; r < n2; ++r) {
+    double dot = 0.0;
+    for (const auto& [col, w] : h21_[r]) dot += (-w) * y1[col];
+    b2[r] -= dot;
+  }
+  const std::vector<double> x2 = schur_factor_->Solve(b2);
+
+  // x1 = H11^{-1} (b1 - H12 x2) = y1 - H11^{-1} (H12 x2).
+  std::vector<double> correction(n1, 0.0);
+  bool any = false;
+  for (std::size_t j = 0; j < n2; ++j) {
+    const double xj = x2[j];
+    if (xj == 0.0) continue;
+    for (const auto& [row, w] : h12_cols_[j]) {
+      correction[row] += (-w) * xj;
+      any = true;
+    }
+  }
+  if (any) SolveSpoke(correction);
+
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < n1; ++i) {
+    scores[new_order_[i]] = y1[i] - correction[i];
+  }
+  for (std::size_t j = 0; j < n2; ++j) {
+    scores[new_order_[n1 + j]] = x2[j];
+  }
+  return scores;
+}
+
+}  // namespace resacc

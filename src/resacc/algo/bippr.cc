@@ -1,0 +1,58 @@
+#include "resacc/algo/bippr.h"
+
+#include <cmath>
+
+#include "resacc/core/random_walk.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+BiPpr::BiPpr(const Graph& graph, const RwrConfig& config,
+             const BiPprOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      name_("BiPPR"),
+      state_(graph.num_nodes()),
+      rng_(config.seed ^ 0xb199) {
+  RESACC_CHECK(config_.Validate().ok());
+  if (options_.r_max_b > 0.0) {
+    r_max_b_ = options_.r_max_b;
+  } else {
+    const double c = config_.WalkCountCoefficient();
+    r_max_b_ = std::min(
+        1.0, std::sqrt(static_cast<double>(graph_.num_edges()) / c));
+  }
+}
+
+Score BiPpr::EstimatePair(NodeId source, NodeId target) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  RESACC_CHECK(target < graph_.num_nodes());
+
+  state_.Reset();
+  last_backward_ =
+      RunBackwardSearch(graph_, config_, target, r_max_b_, state_);
+
+  // The walk count follows the bidirectional bound: every residue is below
+  // r_max^b, so c * r_max^b walks suffice for the relative guarantee.
+  const double c = config_.WalkCountCoefficient();
+  const std::uint64_t walks = static_cast<std::uint64_t>(
+      std::ceil(c * r_max_b_ * options_.walk_scale));
+  last_walks_ = walks;
+
+  Score estimate = state_.reserve(source);
+  if (walks == 0) return estimate;
+
+  WalkStats stats;
+  Rng pair_rng = rng_.Fork((static_cast<std::uint64_t>(source) << 32) ^
+                           target);
+  Score walk_sum = 0.0;
+  for (std::uint64_t i = 0; i < walks; ++i) {
+    const NodeId terminal =
+        RandomWalkTerminal(graph_, config_, source, source, pair_rng, stats);
+    walk_sum += state_.residue(terminal);
+  }
+  return estimate + walk_sum / static_cast<Score>(walks);
+}
+
+}  // namespace resacc

@@ -1,0 +1,192 @@
+#include "resacc/algo/fora_plus.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "resacc/core/random_walk.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+ForaPlus::ForaPlus(const Graph& graph, const RwrConfig& config,
+                   const ForaPlusOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      name_("FORA+"),
+      state_(graph.num_nodes()),
+      rng_(config.seed ^ 0xf04a) {
+  RESACC_CHECK(config_.Validate().ok());
+  if (options_.r_max > 0.0) {
+    r_max_ = options_.r_max;
+  } else {
+    const double c = config_.WalkCountCoefficient();
+    r_max_ = 1.0 / std::sqrt(static_cast<double>(graph_.num_edges()) * c);
+  }
+}
+
+Status ForaPlus::BuildIndex() {
+  index_ready_ = false;
+  if (config_.dangling == DanglingPolicy::kBackToSource) {
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (graph_.OutDegree(u) == 0) {
+        return Status::FailedPrecondition(
+            "FORA+ walk index cannot encode kBackToSource on graphs with "
+            "sinks; use DanglingPolicy::kAbsorb");
+      }
+    }
+  }
+
+  const double c = config_.WalkCountCoefficient();
+  const NodeId n = graph_.num_nodes();
+
+  // Size the pool first so the memory budget is checked before committing.
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const double degree =
+        std::max<double>(1.0, static_cast<double>(graph_.OutDegree(v)));
+    const std::uint64_t walks =
+        static_cast<std::uint64_t>(std::ceil(c * r_max_ * degree));
+    offsets[v + 1] = offsets[v] + walks;
+  }
+  const std::size_t projected_bytes =
+      offsets.back() * sizeof(NodeId) + offsets.size() * sizeof(std::uint64_t);
+  if (options_.memory_budget_bytes > 0 &&
+      projected_bytes > options_.memory_budget_bytes) {
+    return Status::ResourceExhausted("FORA+ index exceeds memory budget");
+  }
+
+  pool_offsets_ = std::move(offsets);
+  pool_endpoints_.assign(pool_offsets_.back(), 0);
+  WalkStats stats;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t i = pool_offsets_[v]; i < pool_offsets_[v + 1]; ++i) {
+      // restart_node = v is never used: kAbsorb was enforced above unless
+      // the graph has no sinks, in which case the policies coincide.
+      pool_endpoints_[i] =
+          RandomWalkTerminal(graph_, config_, v, v, rng_, stats);
+    }
+  }
+  index_ready_ = true;
+  return Status::Ok();
+}
+
+namespace {
+
+constexpr std::uint64_t kIndexMagic = 0x464f5241'2b494458ULL;  // "FORA+IDX"
+
+}  // namespace
+
+Status ForaPlus::SaveIndex(const std::string& path) const {
+  if (!index_ready_) {
+    return Status::FailedPrecondition("no index to save; call BuildIndex()");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  const std::uint64_t header[4] = {kIndexMagic, graph_.num_nodes(),
+                                   graph_.num_edges(),
+                                   pool_endpoints_.size()};
+  const double r_max = r_max_;
+  bool ok = std::fwrite(header, sizeof(header), 1, file) == 1 &&
+            std::fwrite(&r_max, sizeof(r_max), 1, file) == 1 &&
+            std::fwrite(pool_offsets_.data(), sizeof(std::uint64_t),
+                        pool_offsets_.size(), file) == pool_offsets_.size() &&
+            (pool_endpoints_.empty() ||
+             std::fwrite(pool_endpoints_.data(), sizeof(NodeId),
+                         pool_endpoints_.size(),
+                         file) == pool_endpoints_.size());
+  std::fclose(file);
+  if (!ok) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Status ForaPlus::LoadIndex(const std::string& path) {
+  index_ready_ = false;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open index: " + path);
+  }
+  std::uint64_t header[4] = {0, 0, 0, 0};
+  double r_max = 0.0;
+  if (std::fread(header, sizeof(header), 1, file) != 1 ||
+      std::fread(&r_max, sizeof(r_max), 1, file) != 1) {
+    std::fclose(file);
+    return Status::InvalidArgument("truncated index header: " + path);
+  }
+  if (header[0] != kIndexMagic) {
+    std::fclose(file);
+    return Status::InvalidArgument("bad magic (not a FORA+ index): " + path);
+  }
+  if (header[1] != graph_.num_nodes() || header[2] != graph_.num_edges()) {
+    std::fclose(file);
+    return Status::FailedPrecondition(
+        "index was built for a different graph: " + path);
+  }
+  std::vector<std::uint64_t> offsets(graph_.num_nodes() + 1);
+  std::vector<NodeId> endpoints(header[3]);
+  const bool ok =
+      std::fread(offsets.data(), sizeof(std::uint64_t), offsets.size(),
+                 file) == offsets.size() &&
+      (endpoints.empty() ||
+       std::fread(endpoints.data(), sizeof(NodeId), endpoints.size(), file) ==
+           endpoints.size());
+  std::fclose(file);
+  if (!ok || offsets.back() != endpoints.size()) {
+    return Status::InvalidArgument("truncated index body: " + path);
+  }
+  r_max_ = r_max;
+  pool_offsets_ = std::move(offsets);
+  pool_endpoints_ = std::move(endpoints);
+  index_ready_ = true;
+  return Status::Ok();
+}
+
+std::size_t ForaPlus::IndexBytes() const {
+  return pool_endpoints_.size() * sizeof(NodeId) +
+         pool_offsets_.size() * sizeof(std::uint64_t);
+}
+
+std::vector<Score> ForaPlus::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  RESACC_CHECK_MSG(index_ready_, "call BuildIndex() first");
+
+  state_.Reset();
+  state_.SetResidue(source, 1.0);
+  const NodeId seeds[] = {source};
+  RunForwardSearch(graph_, config_, source, r_max_, seeds,
+                   /*push_seeds_unconditionally=*/false, state_);
+
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
+
+  // Remedy via pool lookups: n_r(v) = ceil(r(v) * c) endpoints from v's
+  // precomputed walks, each carrying weight r(v) / n_r(v).
+  const double c = config_.WalkCountCoefficient();
+  WalkStats extra_stats;
+  Rng query_rng = rng_.Fork(source);
+  for (NodeId v : state_.touched()) {
+    const Score residue = state_.residue(v);
+    if (residue <= 0.0) continue;
+    const std::uint64_t walks =
+        static_cast<std::uint64_t>(std::ceil(residue * c));
+    const Score weight = residue / static_cast<Score>(walks);
+    const std::uint64_t available = pool_offsets_[v + 1] - pool_offsets_[v];
+    const std::uint64_t from_pool = std::min(walks, available);
+    for (std::uint64_t i = 0; i < from_pool; ++i) {
+      scores[pool_endpoints_[pool_offsets_[v] + i]] += weight;
+    }
+    // The pool covers ceil(c * r_max * d_out(v)) >= n_r(v) by the residue
+    // bound; simulate the (rare) overflow when a caller passed a custom
+    // r_max that breaks the bound.
+    for (std::uint64_t i = from_pool; i < walks; ++i) {
+      const NodeId terminal = RandomWalkTerminal(graph_, config_, source, v,
+                                                 query_rng, extra_stats);
+      scores[terminal] += weight;
+    }
+  }
+  return scores;
+}
+
+}  // namespace resacc

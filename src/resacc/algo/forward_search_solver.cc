@@ -1,0 +1,31 @@
+#include "resacc/algo/forward_search_solver.h"
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+ForwardSearchSolver::ForwardSearchSolver(const Graph& graph,
+                                         const RwrConfig& config, Score r_max)
+    : graph_(graph),
+      config_(config),
+      r_max_(r_max),
+      name_("FWD"),
+      state_(graph.num_nodes()) {
+  RESACC_CHECK(config_.Validate().ok());
+  RESACC_CHECK(r_max_ > 0.0);
+}
+
+std::vector<Score> ForwardSearchSolver::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  state_.Reset();
+  state_.SetResidue(source, 1.0);
+  const NodeId seeds[] = {source};
+  last_push_stats_ =
+      RunForwardSearch(graph_, config_, source, r_max_, seeds,
+                       /*push_seeds_unconditionally=*/false, state_);
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
+  return scores;
+}
+
+}  // namespace resacc

@@ -1,0 +1,66 @@
+#include "resacc/algo/inverse.h"
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+ExactInverse::ExactInverse(const Graph& graph, const RwrConfig& config)
+    : graph_(graph), config_(config), name_("Inverse") {
+  RESACC_CHECK(config_.Validate().ok());
+  RESACC_CHECK_MSG(graph_.num_nodes() <= kMaxNodes,
+                   "ExactInverse is a dense oracle for small graphs only");
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    if (graph_.OutDegree(u) == 0) {
+      has_dangling_ = true;
+      break;
+    }
+  }
+}
+
+std::unique_ptr<LuDecomposition> ExactInverse::Factor(NodeId source) const {
+  const NodeId n = graph_.num_nodes();
+  const double alpha = config_.alpha;
+  // A = I - (1 - alpha) * Ptilde^T, so A[v][u] -= (1-alpha) * P[u][v].
+  DenseMatrix a = DenseMatrix::Identity(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neighbors = graph_.OutNeighbors(u);
+    if (neighbors.empty()) {
+      if (config_.dangling == DanglingPolicy::kAbsorb) {
+        a.At(u, u) -= (1.0 - alpha);  // self loop
+      } else {
+        a.At(source, u) -= (1.0 - alpha);  // jump back to the source
+      }
+      continue;
+    }
+    const double w = (1.0 - alpha) / static_cast<double>(neighbors.size());
+    for (NodeId v : neighbors) a.At(v, u) -= w;
+  }
+  auto lu = std::make_unique<LuDecomposition>(std::move(a));
+  RESACC_CHECK_MSG(lu->ok(), "RWR system matrix must be non-singular");
+  return lu;
+}
+
+std::vector<Score> ExactInverse::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  const LuDecomposition* factor = nullptr;
+  std::unique_ptr<LuDecomposition> per_query;
+  if (has_dangling_ && config_.dangling == DanglingPolicy::kBackToSource) {
+    per_query = Factor(source);
+    factor = per_query.get();
+  } else {
+    if (cached_factor_ == nullptr) cached_factor_ = Factor(source);
+    factor = cached_factor_.get();
+  }
+
+  std::vector<double> unit(graph_.num_nodes(), 0.0);
+  unit[source] = config_.alpha;  // alpha * e_s
+  std::vector<Score> scores = factor->Solve(unit);
+
+  // Under kAbsorb the alpha factor undercounts sinks: a stuck walk
+  // terminates with probability 1, not alpha. The solve distributes mass
+  // correctly through the self loop (geometric series sums to 1), so no
+  // correction is needed; the self-loop construction already encodes it.
+  return scores;
+}
+
+}  // namespace resacc

@@ -1,0 +1,38 @@
+#include "resacc/algo/monte_carlo.h"
+
+#include <cmath>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+MonteCarlo::MonteCarlo(const Graph& graph, const RwrConfig& config,
+                       double walk_scale)
+    : graph_(graph),
+      config_(config),
+      walk_scale_(walk_scale),
+      name_("MC"),
+      rng_(config.seed) {
+  RESACC_CHECK(config_.Validate().ok());
+  RESACC_CHECK(walk_scale_ > 0.0);
+}
+
+std::vector<Score> MonteCarlo::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  const std::uint64_t num_walks = static_cast<std::uint64_t>(
+      std::ceil(config_.WalkCountCoefficient() * walk_scale_));
+  RESACC_CHECK(num_walks > 0);
+
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  const Score weight = 1.0 / static_cast<Score>(num_walks);
+  Rng query_rng = rng_.Fork(source);
+  last_walk_stats_ = WalkStats();
+  for (std::uint64_t i = 0; i < num_walks; ++i) {
+    const NodeId terminal = RandomWalkTerminal(graph_, config_, source, source,
+                                               query_rng, last_walk_stats_);
+    scores[terminal] += weight;
+  }
+  return scores;
+}
+
+}  // namespace resacc

@@ -1,0 +1,43 @@
+#ifndef RESACC_ALGO_MONTE_CARLO_H_
+#define RESACC_ALGO_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resacc/core/random_walk.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// Random Walk sampling (Fogaras et al. [9]), "MC" in the paper: simulate
+// walks from the source and report terminal frequencies. To match the
+// relative-error guarantee of Definition 1 it uses the same concentration
+// bound as the remedy phase with r_sum = 1, i.e. c = WalkCountCoefficient()
+// walks (times `walk_scale`).
+class MonteCarlo : public SsrwrAlgorithm {
+ public:
+  MonteCarlo(const Graph& graph, const RwrConfig& config,
+             double walk_scale = 1.0);
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<Score> Query(NodeId source) override;
+
+  const WalkStats& last_walk_stats() const { return last_walk_stats_; }
+
+ private:
+  const Graph& graph_;
+  RwrConfig config_;
+  double walk_scale_;
+  std::string name_;
+  Rng rng_;
+  WalkStats last_walk_stats_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_ALGO_MONTE_CARLO_H_

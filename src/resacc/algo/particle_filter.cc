@@ -1,0 +1,94 @@
+#include "resacc/algo/particle_filter.h"
+
+#include <cmath>
+#include <deque>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+ParticleFilter::ParticleFilter(const Graph& graph, const RwrConfig& config,
+                               const ParticleFilterOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      name_("PF"),
+      rng_(config.seed ^ 0x9f11) {
+  RESACC_CHECK(config_.Validate().ok());
+  if (options_.total_walks <= 0.0) {
+    options_.total_walks = config_.WalkCountCoefficient();
+  }
+  RESACC_CHECK(options_.w_min > 0.0);
+}
+
+std::vector<Score> ParticleFilter::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  const double alpha = config_.alpha;
+  const double w_total = options_.total_walks;
+  const double w_min = options_.w_min;
+
+  std::vector<double> walks(graph_.num_nodes(), 0.0);
+  std::vector<double> terminated(graph_.num_nodes(), 0.0);
+  walks[source] = w_total;
+
+  std::deque<NodeId> queue{source};
+  std::vector<std::uint8_t> in_queue(graph_.num_nodes(), 0);
+  in_queue[source] = 1;
+  Rng query_rng = rng_.Fork(source);
+
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    in_queue[v] = 0;
+
+    const double w_v = walks[v];
+    if (w_v <= 0.0) continue;
+    walks[v] = 0.0;
+    terminated[v] += alpha * w_v;
+    double remaining = (1.0 - alpha) * w_v;
+
+    auto deposit = [&](NodeId u, double amount) {
+      walks[u] += amount;
+      if (!in_queue[u]) {
+        in_queue[u] = 1;
+        queue.push_back(u);
+      }
+    };
+
+    const auto neighbors = graph_.OutNeighbors(v);
+    if (neighbors.empty()) {
+      if (config_.dangling == DanglingPolicy::kAbsorb) {
+        terminated[v] += remaining;
+      } else {
+        deposit(source, remaining);
+      }
+      continue;
+    }
+
+    const double degree = static_cast<double>(neighbors.size());
+    if (remaining / degree >= w_min) {
+      // Deterministic distribution phase.
+      const double share = remaining / degree;
+      for (NodeId u : neighbors) deposit(u, share);
+    } else {
+      // Random spraying phase: floor(remaining / w_min) packets of w_min
+      // walks each; the remainder below one packet is dropped — the
+      // quantization bias of PF.
+      const std::uint64_t sprays =
+          static_cast<std::uint64_t>(std::floor(remaining / w_min));
+      for (std::uint64_t i = 0; i < sprays; ++i) {
+        const NodeId u = neighbors[query_rng.NextBounded32(
+            static_cast<std::uint32_t>(neighbors.size()))];
+        deposit(u, w_min);
+      }
+    }
+  }
+
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    scores[v] = terminated[v] / w_total;
+  }
+  return scores;
+}
+
+}  // namespace resacc

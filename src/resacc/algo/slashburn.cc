@@ -1,0 +1,108 @@
+#include "resacc/algo/slashburn.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+namespace {
+
+// Undirected degree of `v` within the `alive` subset.
+std::size_t AliveDegree(const Graph& graph, const std::vector<char>& alive,
+                        NodeId v) {
+  std::size_t degree = 0;
+  for (NodeId u : graph.OutNeighbors(v)) degree += alive[u] ? 1 : 0;
+  for (NodeId u : graph.InNeighbors(v)) degree += alive[u] ? 1 : 0;
+  return degree;
+}
+
+// Connected components (undirected view) of the alive subset restricted to
+// `nodes`.
+std::vector<std::vector<NodeId>> AliveComponents(
+    const Graph& graph, const std::vector<char>& alive,
+    const std::vector<NodeId>& nodes) {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<char> visited(graph.num_nodes(), 0);
+  for (NodeId start : nodes) {
+    if (!alive[start] || visited[start]) continue;
+    std::vector<NodeId> component;
+    std::deque<NodeId> queue{start};
+    visited[start] = 1;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      component.push_back(u);
+      auto expand = [&](NodeId w) {
+        if (alive[w] && !visited[w]) {
+          visited[w] = 1;
+          queue.push_back(w);
+        }
+      };
+      for (NodeId w : graph.OutNeighbors(u)) expand(w);
+      for (NodeId w : graph.InNeighbors(u)) expand(w);
+    }
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+}  // namespace
+
+SlashBurnResult RunSlashBurn(const Graph& graph, NodeId hubs_per_iteration,
+                             NodeId max_block_size) {
+  RESACC_CHECK(hubs_per_iteration >= 1);
+  RESACC_CHECK(max_block_size >= 1);
+  SlashBurnResult result;
+
+  std::vector<char> alive(graph.num_nodes(), 1);
+  std::vector<NodeId> all_nodes(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) all_nodes[v] = v;
+
+  // Work stack of node sets still too large to be spoke blocks.
+  std::vector<std::vector<NodeId>> work;
+  work.push_back(std::move(all_nodes));
+
+  while (!work.empty()) {
+    std::vector<NodeId> nodes = std::move(work.back());
+    work.pop_back();
+    if (nodes.size() <= max_block_size) {
+      if (!nodes.empty()) result.spokes.push_back(std::move(nodes));
+      continue;
+    }
+
+    // Slash: extract the top-degree nodes of this set as hubs. Degrees are
+    // computed once per set (not per comparison).
+    std::vector<std::pair<std::size_t, NodeId>> by_degree;
+    by_degree.reserve(nodes.size());
+    for (NodeId v : nodes) {
+      by_degree.emplace_back(AliveDegree(graph, alive, v), v);
+    }
+    const std::size_t hub_count =
+        std::min<std::size_t>(hubs_per_iteration, by_degree.size());
+    std::partial_sort(by_degree.begin(),
+                      by_degree.begin() + static_cast<long>(hub_count),
+                      by_degree.end(), [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (std::size_t i = 0; i < hub_count; ++i) {
+      const NodeId hub = by_degree[i].second;
+      alive[hub] = 0;
+      result.hubs.push_back(hub);
+    }
+
+    // Burn: components of the remainder become either spoke blocks or new
+    // work items (when still above the cap).
+    for (auto& component : AliveComponents(graph, alive, nodes)) {
+      if (component.size() <= max_block_size) {
+        result.spokes.push_back(std::move(component));
+      } else {
+        work.push_back(std::move(component));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace resacc

@@ -1,0 +1,40 @@
+#ifndef RESACC_ALGO_SLASHBURN_H_
+#define RESACC_ALGO_SLASHBURN_H_
+
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Result of SlashBurn-style hub-and-spoke decomposition: `hubs` in
+// extraction order, and `spokes` — groups of non-hub nodes such that no
+// edge connects two different groups once the hubs are removed (each group
+// is a connected component of the hub-free residual graph, possibly split
+// further by later iterations).
+struct SlashBurnResult {
+  std::vector<NodeId> hubs;
+  std::vector<std::vector<NodeId>> spokes;
+
+  std::size_t num_spoke_nodes() const {
+    std::size_t total = 0;
+    for (const auto& block : spokes) total += block.size();
+    return total;
+  }
+};
+
+// SlashBurn (Kang & Faloutsos), the node reordering BePI builds on:
+// repeatedly (1) remove the `hubs_per_iteration` highest-degree nodes of
+// the remaining graph (they become hubs), (2) take the connected components
+// of the remainder (undirected connectivity): every component except the
+// largest becomes a spoke block, and the largest continues to the next
+// iteration. Stops when the largest remaining component has at most
+// `max_block_size` nodes (it becomes the final spoke block), so every
+// spoke block is a valid small diagonal block for BePI's factorization.
+SlashBurnResult RunSlashBurn(const Graph& graph, NodeId hubs_per_iteration,
+                             NodeId max_block_size);
+
+}  // namespace resacc
+
+#endif  // RESACC_ALGO_SLASHBURN_H_

@@ -1,0 +1,106 @@
+#include "resacc/algo/topppr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resacc/core/backward_push.h"
+#include "resacc/core/forward_push.h"
+#include "resacc/core/remedy.h"
+#include "resacc/util/check.h"
+#include "resacc/util/timer.h"
+#include "resacc/util/top_k.h"
+
+namespace resacc {
+
+TopPpr::TopPpr(const Graph& graph, const RwrConfig& config,
+               const TopPprOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      name_("TopPPR"),
+      forward_state_(graph.num_nodes()),
+      backward_state_(graph.num_nodes()),
+      rng_(config.seed ^ 0x707a) {
+  RESACC_CHECK(config_.Validate().ok());
+  RESACC_CHECK(options_.top_k >= 1);
+  options_.top_k = std::min<std::size_t>(options_.top_k, graph.num_nodes());
+
+  // The rough phase only needs to resolve scores near the K-th largest, so
+  // its effective delta is 1/K rather than 1/n — fewer walks when K << n.
+  RwrConfig rough = config_;
+  rough.delta =
+      std::max(config_.delta, 1.0 / static_cast<double>(options_.top_k));
+  config_ = rough;
+  if (options_.r_max_f <= 0.0) {
+    const double c = config_.WalkCountCoefficient();
+    r_max_f_ = 1.0 / std::sqrt(static_cast<double>(graph_.num_edges()) * c);
+  } else {
+    r_max_f_ = options_.r_max_f;
+  }
+}
+
+std::vector<Score> TopPpr::Query(NodeId source) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  Timer total;
+  last_backward_pushes_ = 0;
+
+  // Stage 1 (filter): forward push + walks, as in FORA but tuned to the
+  // top-K resolution (delta = 1/K).
+  forward_state_.Reset();
+  forward_state_.SetResidue(source, 1.0);
+  const NodeId seeds[] = {source};
+  RunForwardSearch(graph_, config_, source, r_max_f_, seeds,
+                   /*push_seeds_unconditionally=*/false, forward_state_);
+
+  std::vector<Score> scores(graph_.num_nodes(), 0.0);
+  for (NodeId v : forward_state_.touched()) {
+    scores[v] = forward_state_.reserve(v);
+  }
+  Rng query_rng = rng_.Fork(source);
+  RunRemedy(graph_, config_, source, forward_state_, query_rng, scores);
+
+  // Stage 2 (refine): backward pushes from the candidates straddling the
+  // rank-K boundary; their scores decide top-K membership. When K >= n
+  // every node is trivially in the top-K — there is no (K+1)-th competitor
+  // and nothing to resolve, so the refinement stage is skipped.
+  const std::size_t k = options_.top_k;
+  if (k >= graph_.num_nodes()) {
+    last_top_k_ = TopKIndices(scores, k);
+    return scores;
+  }
+  const std::size_t width = options_.boundary_width;
+  const std::size_t lo = k > width ? k - width : 0;
+  const std::size_t hi = std::min(scores.size(), k + width);
+  std::vector<NodeId> ranked = TopKIndices(scores, hi);
+  RESACC_CHECK(!ranked.empty());
+  const Score kth_score = scores[ranked[std::min(k, ranked.size()) - 1]];
+  const Score r_max_b = std::max(
+      options_.backward_threshold_factor * std::max(kth_score, config_.delta),
+      1e-12);
+
+  for (std::size_t rank = lo; rank < hi; ++rank) {
+    if (options_.time_budget_seconds > 0.0 &&
+        total.ElapsedSeconds() >= options_.time_budget_seconds) {
+      break;
+    }
+    const NodeId target = ranked[rank];
+    backward_state_.Reset();
+    const PushStats stats =
+        RunBackwardSearch(graph_, config_, target, r_max_b, backward_state_);
+    last_backward_pushes_ += stats.push_operations;
+
+    // pi(s, target) = reserve_b(s) + sum_v pi(s, v) * residue_b(v), with
+    // pi(s, v) taken from the stage-1 estimates.
+    Score refined = backward_state_.reserve(source);
+    for (NodeId v : backward_state_.touched()) {
+      const Score residue = backward_state_.residue(v);
+      if (residue > 0.0) refined += scores[v] * residue;
+    }
+    scores[target] = refined;
+  }
+
+  last_top_k_ = TopKIndices(scores, k);
+  return scores;
+}
+
+}  // namespace resacc

@@ -1,0 +1,58 @@
+#include "resacc/core/backward_push.h"
+
+#include <deque>
+#include <vector>
+
+namespace resacc {
+
+PushStats RunBackwardSearch(const Graph& graph, const RwrConfig& config,
+                            NodeId target, Score r_max, PushState& state) {
+  PushStats stats;
+  state.SetResidue(target, 1.0);
+
+  std::deque<NodeId> queue;
+  std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
+  queue.push_back(target);
+  in_queue[target] = 1;
+
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    in_queue[node] = 0;
+
+    const Score residue = state.residue(node);
+    // Backward push condition: residue(v) >= r_max (no degree division;
+    // the backward residue already measures contribution mass).
+    if (residue < r_max) continue;
+    ++stats.push_operations;
+
+    // For a sink v under kAbsorb, pi(s, v) equals the *reach* probability:
+    //   pi(s, v) = delta_sv + (1-alpha)/alpha * sum_u pi(s, u)/d_out(u),
+    // because a walk that arrives can never leave. For ordinary nodes the
+    // standard recurrence pi(s, v) = alpha*delta_sv
+    // + (1-alpha) * sum_u pi(s, u)/d_out(u) applies; both substitutions
+    // keep the backward invariant exact.
+    const bool sink = graph.OutDegree(node) == 0;
+    Score flow = (1.0 - config.alpha) * residue;
+    if (sink) {
+      state.AddReserve(node, residue);
+      flow /= config.alpha;
+    } else {
+      state.AddReserve(node, config.alpha * residue);
+    }
+    state.SetResidue(node, 0.0);
+
+    for (NodeId u : graph.InNeighbors(node)) {
+      const Score share = flow / static_cast<Score>(graph.OutDegree(u));
+      state.AddResidue(u, share);
+      if (!in_queue[u] && state.residue(u) >= r_max) {
+        in_queue[u] = 1;
+        queue.push_back(u);
+      }
+    }
+    stats.edge_traversals += graph.InDegree(node);
+  }
+  return stats;
+}
+
+}  // namespace resacc

@@ -1,0 +1,28 @@
+#ifndef RESACC_CORE_BACKWARD_PUSH_H_
+#define RESACC_CORE_BACKWARD_PUSH_H_
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/push_state.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+
+namespace resacc {
+
+// Backward (reverse) local push from a target node t (Andersen et al.;
+// used by BiPPR and TopPPR). After it finishes, for every source s:
+//
+//   pi(s, t) = reserve(s) + sum_v pi(s, v) * residue(v)
+//
+// with every residue below `r_max`. The identity is exact under
+// DanglingPolicy::kAbsorb (sinks get a dedicated push rule — see the .cc).
+// The kBackToSource policy is not representable backwards (the traversal
+// cannot know the query source), so backward-based algorithms (BiPPR,
+// TopPPR) must be paired with kAbsorb; see DESIGN.md.
+//
+// The state must be Reset; this function seeds residue(target) = 1.
+PushStats RunBackwardSearch(const Graph& graph, const RwrConfig& config,
+                            NodeId target, Score r_max, PushState& state);
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_BACKWARD_PUSH_H_

@@ -1,0 +1,162 @@
+#include "resacc/core/forward_push.h"
+
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace resacc {
+
+void ForwardPushAt(const Graph& graph, const RwrConfig& config, NodeId source,
+                   NodeId node, PushState& state, PushStats& stats) {
+  const Score residue = state.residue(node);
+  if (residue <= 0.0) return;
+  ++stats.push_operations;
+
+  const auto neighbors = graph.OutNeighbors(node);
+  if (neighbors.empty()) {
+    // Dangling node: see DanglingPolicy. The residue is consumed *before*
+    // the back-flow is credited — the source may be this very node (an
+    // isolated source), in which case the flow must survive the reset.
+    state.SetResidue(node, 0.0);
+    if (config.dangling == DanglingPolicy::kAbsorb) {
+      state.AddReserve(node, residue);
+    } else {
+      state.AddReserve(node, config.alpha * residue);
+      state.AddResidue(source, (1.0 - config.alpha) * residue);
+    }
+    return;
+  }
+
+  state.AddReserve(node, config.alpha * residue);
+  const Score share = (1.0 - config.alpha) * residue /
+                      static_cast<Score>(neighbors.size());
+  for (NodeId v : neighbors) {
+    state.AddResidue(v, share);
+  }
+  stats.edge_traversals += neighbors.size();
+  state.SetResidue(node, 0.0);
+}
+
+namespace {
+
+// FIFO work list.
+PushStats ForwardSearchFifo(const Graph& graph, const RwrConfig& config,
+                            NodeId source, Score r_max,
+                            std::span<const NodeId> seeds,
+                            bool push_seeds_unconditionally,
+                            PushState& state) {
+  PushStats stats;
+  std::deque<NodeId> queue;
+  std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
+
+  std::size_t seeds_enqueued = 0;
+  for (NodeId seed : seeds) {
+    if (!in_queue[seed]) {
+      in_queue[seed] = 1;
+      queue.push_back(seed);
+      ++seeds_enqueued;
+    }
+  }
+
+  // Seeds sit at the head of the FIFO queue, so exactly the first
+  // `seeds_enqueued` dequeues are seed pushes.
+  bool processing_seeds = push_seeds_unconditionally;
+  std::size_t seeds_remaining = seeds_enqueued;
+
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    in_queue[node] = 0;
+
+    const bool unconditional = processing_seeds && seeds_remaining > 0;
+    if (seeds_remaining > 0) --seeds_remaining;
+    if (seeds_remaining == 0) processing_seeds = false;
+
+    if (!unconditional && !SatisfiesPushCondition(graph, state, node, r_max)) {
+      continue;
+    }
+    ForwardPushAt(graph, config, source, node, state, stats);
+
+    // Enqueue out-neighbours (and possibly the source, under
+    // kBackToSource) that now satisfy the push condition.
+    for (NodeId v : graph.OutNeighbors(node)) {
+      if (!in_queue[v] && SatisfiesPushCondition(graph, state, v, r_max)) {
+        in_queue[v] = 1;
+        queue.push_back(v);
+      }
+    }
+    if (config.dangling == DanglingPolicy::kBackToSource && !in_queue[source] &&
+        SatisfiesPushCondition(graph, state, source, r_max)) {
+      in_queue[source] = 1;
+      queue.push_back(source);
+    }
+  }
+  return stats;
+}
+
+// Max-residue-first work list. Heap entries carry the residue observed at
+// enqueue time; a node already in the heap is not re-inserted when its
+// residue grows (the stale, smaller key only delays its pop — by then it
+// has accumulated even more, which is exactly the intent).
+PushStats ForwardSearchMaxFirst(const Graph& graph, const RwrConfig& config,
+                                NodeId source, Score r_max,
+                                std::span<const NodeId> seeds,
+                                bool push_seeds_unconditionally,
+                                PushState& state) {
+  PushStats stats;
+  std::priority_queue<std::pair<Score, NodeId>> heap;
+  std::vector<std::uint8_t> in_heap(graph.num_nodes(), 0);
+  std::vector<std::uint8_t> is_seed(graph.num_nodes(), 0);
+
+  for (NodeId seed : seeds) {
+    if (!in_heap[seed]) {
+      in_heap[seed] = 1;
+      if (push_seeds_unconditionally) is_seed[seed] = 1;
+      heap.emplace(state.residue(seed), seed);
+    }
+  }
+
+  auto try_enqueue = [&](NodeId v) {
+    if (!in_heap[v] && SatisfiesPushCondition(graph, state, v, r_max)) {
+      in_heap[v] = 1;
+      heap.emplace(state.residue(v), v);
+    }
+  };
+
+  while (!heap.empty()) {
+    const NodeId node = heap.top().second;
+    heap.pop();
+    in_heap[node] = 0;
+
+    const bool unconditional = is_seed[node] != 0;
+    is_seed[node] = 0;
+    if (!unconditional && !SatisfiesPushCondition(graph, state, node, r_max)) {
+      continue;
+    }
+    ForwardPushAt(graph, config, source, node, state, stats);
+
+    for (NodeId v : graph.OutNeighbors(node)) try_enqueue(v);
+    if (config.dangling == DanglingPolicy::kBackToSource) {
+      try_enqueue(source);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
+                           NodeId source, Score r_max,
+                           std::span<const NodeId> seeds,
+                           bool push_seeds_unconditionally, PushState& state,
+                           PushOrder order) {
+  if (order == PushOrder::kMaxResidueFirst) {
+    return ForwardSearchMaxFirst(graph, config, source, r_max, seeds,
+                                 push_seeds_unconditionally, state);
+  }
+  return ForwardSearchFifo(graph, config, source, r_max, seeds,
+                           push_seeds_unconditionally, state);
+}
+
+}  // namespace resacc

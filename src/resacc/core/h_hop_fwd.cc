@@ -1,0 +1,134 @@
+#include "resacc/core/h_hop_fwd.h"
+
+#include <cmath>
+#include <deque>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+namespace {
+
+// Eligibility for pushing during the accumulating phase: the source is
+// excluded when loop accumulation is on (its residue accumulates instead),
+// and nodes beyond the h-hop set are excluded when the subgraph restriction
+// is on (they form the frontier whose residue accumulates for OMFWD).
+struct Eligibility {
+  const HopLayers* layers;  // null when the subgraph restriction is off
+  std::uint32_t num_hops;
+  NodeId source;
+  bool exclude_source;
+
+  bool CanPush(NodeId v) const {
+    if (exclude_source && v == source) return false;
+    if (layers != nullptr && !layers->InHopSet(v, num_hops)) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
+                        NodeId source, const HHopFwdOptions& options,
+                        PushState& state, HopLayers* layers) {
+  RESACC_CHECK(source < graph.num_nodes());
+  RESACC_CHECK(options.r_max_hop > 0.0);
+  HHopFwdStats stats;
+
+  std::uint32_t effective_hops = options.num_hops;
+  if (options.use_hop_subgraph) {
+    *layers = ComputeHopLayers(graph, source, options.num_hops + 1);
+    if (options.max_hop_set_fraction > 0.0) {
+      const std::size_t cap = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options.max_hop_set_fraction *
+                                      static_cast<double>(graph.num_nodes())));
+      while (effective_hops > 0 &&
+             layers->HopSetSize(effective_hops) > cap) {
+        --effective_hops;
+      }
+      if (effective_hops < options.num_hops) {
+        // Drop the unused deeper layers so layers.back() is the frontier
+        // L_(h_eff+1) that OMFWD consumes.
+        layers->layers.resize(effective_hops + 2);
+      }
+    }
+    stats.hop_set_size = layers->HopSetSize(effective_hops);
+    stats.frontier_size = layers->layers.back().size();
+  } else {
+    // No-SG ablation: no BFS, whole graph acts as the subgraph and the
+    // frontier is empty.
+    layers->layers.assign(options.num_hops + 2, {});
+    layers->distance.clear();
+  }
+  stats.effective_hops = effective_hops;
+
+  const Eligibility eligible{
+      options.use_hop_subgraph ? layers : nullptr, effective_hops, source,
+      /*exclude_source=*/options.use_loop_accumulation};
+
+  // Accumulating phase (Algorithm 3 lines 1-7): the very first push at s,
+  // then exhaust the push condition over eligible nodes.
+  state.SetResidue(source, 1.0);
+  ForwardPushAt(graph, config, source, source, state, stats.push);
+
+  std::deque<NodeId> queue;
+  std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
+  auto try_enqueue = [&](NodeId v) {
+    if (!in_queue[v] && eligible.CanPush(v) &&
+        SatisfiesPushCondition(graph, state, v, options.r_max_hop)) {
+      in_queue[v] = 1;
+      queue.push_back(v);
+    }
+  };
+  for (NodeId v : graph.OutNeighbors(source)) try_enqueue(v);
+  if (!options.use_loop_accumulation) try_enqueue(source);
+
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    in_queue[node] = 0;
+    if (!SatisfiesPushCondition(graph, state, node, options.r_max_hop)) {
+      continue;
+    }
+    ForwardPushAt(graph, config, source, node, state, stats.push);
+    for (NodeId v : graph.OutNeighbors(node)) try_enqueue(v);
+    if (config.dangling == DanglingPolicy::kBackToSource) try_enqueue(source);
+  }
+
+  if (!options.use_loop_accumulation) return stats;
+
+  // Updating phase (Algorithm 3 lines 8-18): extrapolate the remaining
+  // accumulating phases in O(touched).
+  const Score rho = state.residue(source);
+  stats.rho = rho;
+  if (rho <= 0.0) return stats;
+  RESACC_CHECK_MSG(rho < 1.0, "source residue must shrink per phase");
+
+  // T = smallest integer with rho^T strictly below the push threshold of s
+  // (see header; floor+1 also covers the exact-boundary case that
+  // the paper's ceil formula misses).
+  const double degree_s =
+      std::max<double>(1.0, static_cast<double>(graph.OutDegree(source)));
+  const double threshold_arg = options.r_max_hop * degree_s;
+  double loop_count = 1.0;
+  if (threshold_arg < 1.0 && rho >= threshold_arg) {
+    loop_count = std::floor(std::log(threshold_arg) / std::log(rho)) + 1.0;
+    loop_count = std::max(loop_count, 1.0);
+  }
+  stats.loop_count = loop_count;
+
+  const Score rho_pow_t = std::pow(rho, loop_count);
+  const Score scaler = (1.0 - rho_pow_t) / (1.0 - rho);
+  stats.scaler = scaler;
+
+  for (NodeId v : state.touched()) {
+    state.ScaleReserve(v, scaler);
+    if (v == source) {
+      state.SetResidue(source, rho_pow_t);
+    } else {
+      state.ScaleResidue(v, scaler);
+    }
+  }
+  return stats;
+}
+
+}  // namespace resacc

@@ -1,0 +1,65 @@
+#ifndef RESACC_CORE_H_HOP_FWD_H_
+#define RESACC_CORE_H_HOP_FWD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/push_state.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+#include "resacc/graph/hop_layers.h"
+
+namespace resacc {
+
+// Tuning knobs and ablation switches of the h-HopFWD phase (Algorithm 3).
+struct HHopFwdOptions {
+  // Residue threshold r_max^hop of the accumulating phase. Paper: 1e-14.
+  Score r_max_hop = 1e-14;
+  // Number of hops h; the subgraph is G'_h-hop(s). Paper: 2 (3 on DBLP).
+  std::uint32_t num_hops = 2;
+  // Ablation "No-Loop-ResAcc" (Appendix K): disable the accumulating-loop
+  // extrapolation; the source is pushed like any other node instead.
+  bool use_loop_accumulation = true;
+  // Ablation "No-SG-ResAcc" (Appendix K): disable the subgraph restriction;
+  // the accumulating phase runs over the whole graph.
+  bool use_hop_subgraph = true;
+  // Adaptive cap (our extension, not in the paper): if > 0, the effective
+  // h shrinks to the largest value whose hop set holds at most this
+  // fraction of the graph's nodes (possibly 0: only the source pushes and
+  // L_1 becomes the frontier). Rationale: the paper's fixed h assumes
+  // |V_h-hop(s)| << n, which a hub source violates — its 1-hop set alone
+  // can span a fifth of the graph, making the 1e-14-threshold
+  // accumulating phase the bottleneck.
+  double max_hop_set_fraction = 0.0;
+};
+
+// Diagnostics of one h-HopFWD run; Table VII and the ablation benches
+// consume these.
+struct HHopFwdStats {
+  PushStats push;
+  Score rho = 0.0;        // r_1^f(s,s): source residue after phase 1
+  double loop_count = 0;  // T: number of extrapolated accumulating phases
+  Score scaler = 1.0;     // S = (1 - rho^T) / (1 - rho); see DESIGN.md
+  std::uint32_t effective_hops = 0;  // h after the adaptive cap, if any
+  std::size_t hop_set_size = 0;   // |V_h-hop(s)| at the effective h
+  std::size_t frontier_size = 0;  // |L_(h+1)-hop(s)| at the effective h
+};
+
+// Runs h-HopFWD from `source` on a Reset `state` (seeding r(s) = 1).
+// On return:
+//  * state holds the reserves/residues of Algorithm 3's output;
+//  * `layers` (output) holds the hop decomposition; layers->layers.back()
+//    is the accumulation frontier L_(h+1)-hop(s) that OMFWD consumes.
+//
+// Algorithm 3 note: line 10 of the paper prints
+// S = (1 - rho^(T-1)) / (1 - rho), but the appendix derivation (and mass
+// conservation) require S = (1 - rho^T) / (1 - rho); we implement the
+// latter. Tests verify sum(reserve) + sum(residue) == 1.
+HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
+                        NodeId source, const HHopFwdOptions& options,
+                        PushState& state, HopLayers* layers);
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_H_HOP_FWD_H_

@@ -1,0 +1,29 @@
+#include "resacc/core/omfwd.h"
+
+#include <algorithm>
+
+namespace resacc {
+
+PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
+                   Score r_max_f, std::vector<NodeId> frontier,
+                   PushState& state) {
+  // Algorithm 4 line 1: decreasing order of (accumulated) residue, so the
+  // largest masses flow first and downstream nodes aggregate them into
+  // fewer pushes. The kMaxResidueFirst work list keeps that discipline for
+  // the whole run, not just the seeds. Ties broken by id for determinism.
+  std::sort(frontier.begin(), frontier.end(), [&state](NodeId a, NodeId b) {
+    if (state.residue(a) != state.residue(b)) {
+      return state.residue(a) > state.residue(b);
+    }
+    return a < b;
+  });
+  // FIFO after the sorted seeds: level-synchronous draining aggregates a
+  // node's whole in-frontier before the node is popped — measured both
+  // fewer pushes and ~2x less time than a strict max-residue heap (see
+  // PushOrder).
+  return RunForwardSearch(graph, config, source, r_max_f, frontier,
+                          /*push_seeds_unconditionally=*/true, state,
+                          PushOrder::kFifo);
+}
+
+}  // namespace resacc

@@ -1,0 +1,26 @@
+#ifndef RESACC_CORE_OMFWD_H_
+#define RESACC_CORE_OMFWD_H_
+
+#include <vector>
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/push_state.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+
+namespace resacc {
+
+// OMFWD, the "one-more forward search" (Algorithm 4): seeds the push queue
+// with the accumulation frontier L_(h+1)-hop(s) in decreasing residue
+// order, pushes each seed once unconditionally, then keeps pushing any
+// node that satisfies the push condition with r_max_f until quiescent.
+//
+// `frontier` is typically layers.back() from RunHHopFwd; it is copied and
+// sorted internally.
+PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
+                   Score r_max_f, std::vector<NodeId> frontier,
+                   PushState& state);
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_OMFWD_H_

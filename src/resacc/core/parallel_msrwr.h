@@ -1,0 +1,56 @@
+#ifndef RESACC_CORE_PARALLEL_MSRWR_H_
+#define RESACC_CORE_PARALLEL_MSRWR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/util/thread_pool.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Parallel Multiple-Sources RWR (our extension; the paper leaves MSRWR as
+// one-SSRWR-per-source and measures it sequentially, Section VI). Solvers
+// hold per-query workspaces and are not thread-safe, so each worker gets
+// its own instance from `make_solver`; sources are distributed across the
+// pool. Results are returned in source order.
+//
+//   ThreadPool pool(4);
+//   auto results = ParallelQueryMany(pool, sources, [&] {
+//     return std::make_unique<ResAccSolver>(graph, config, options);
+//   });
+inline std::vector<std::vector<Score>> ParallelQueryMany(
+    ThreadPool& pool, const std::vector<NodeId>& sources,
+    const std::function<std::unique_ptr<SsrwrAlgorithm>()>& make_solver) {
+  // One solver per worker, created lazily on first use via thread-indexed
+  // striping: source i is handled by solver i % num_threads, and each
+  // solver is only ever used by one in-flight task at a time because its
+  // stripe's tasks are serialized through a per-stripe chain.
+  //
+  // Simpler and just as effective here: pre-create num_threads solvers and
+  // give stripe k the sources {k, k + T, k + 2T, ...}; each stripe runs as
+  // one task, so no two tasks share a solver.
+  const std::size_t num_stripes =
+      std::min(pool.num_threads(), sources.size());
+  std::vector<std::vector<Score>> results(sources.size());
+  if (num_stripes == 0) return results;
+
+  std::vector<std::unique_ptr<SsrwrAlgorithm>> solvers;
+  solvers.reserve(num_stripes);
+  for (std::size_t k = 0; k < num_stripes; ++k) {
+    solvers.push_back(make_solver());
+  }
+
+  ParallelFor(pool, num_stripes, [&](std::size_t stripe) {
+    for (std::size_t i = stripe; i < sources.size(); i += num_stripes) {
+      results[i] = solvers[stripe]->Query(sources[i]);
+    }
+  });
+  return results;
+}
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_PARALLEL_MSRWR_H_

@@ -1,0 +1,90 @@
+#ifndef RESACC_CORE_PUSH_STATE_H_
+#define RESACC_CORE_PUSH_STATE_H_
+
+#include <span>
+#include <vector>
+
+#include "resacc/util/check.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Reserve/residue arrays for push-based algorithms, with touched-node
+// tracking so repeated queries reset in O(touched) instead of O(n).
+// One instance can be reused across queries (Reset between them).
+class PushState {
+ public:
+  explicit PushState(NodeId num_nodes)
+      : reserve_(num_nodes, 0.0),
+        residue_(num_nodes, 0.0),
+        is_touched_(num_nodes, 0) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(reserve_.size()); }
+
+  Score reserve(NodeId v) const { return reserve_[v]; }
+  Score residue(NodeId v) const { return residue_[v]; }
+
+  void AddReserve(NodeId v, Score delta) {
+    Touch(v);
+    reserve_[v] += delta;
+  }
+  void AddResidue(NodeId v, Score delta) {
+    Touch(v);
+    residue_[v] += delta;
+  }
+  void SetResidue(NodeId v, Score value) {
+    Touch(v);
+    residue_[v] = value;
+  }
+  void ScaleReserve(NodeId v, Score factor) { reserve_[v] *= factor; }
+  void ScaleResidue(NodeId v, Score factor) { residue_[v] *= factor; }
+
+  // Nodes whose reserve or residue has ever been written since Reset.
+  std::span<const NodeId> touched() const { return touched_; }
+
+  // Sum of all residues (r_sum in the paper). O(touched).
+  Score ResidueSum() const {
+    Score sum = 0.0;
+    for (NodeId v : touched_) sum += residue_[v];
+    return sum;
+  }
+
+  // Sum of all reserves. O(touched).
+  Score ReserveSum() const {
+    Score sum = 0.0;
+    for (NodeId v : touched_) sum += reserve_[v];
+    return sum;
+  }
+
+  void Reset() {
+    for (NodeId v : touched_) {
+      reserve_[v] = 0.0;
+      residue_[v] = 0.0;
+      is_touched_[v] = 0;
+    }
+    touched_.clear();
+  }
+
+  // Read-only views for bulk consumers (e.g. copying reserves into the
+  // final score vector).
+  const std::vector<Score>& reserves() const { return reserve_; }
+  const std::vector<Score>& residues() const { return residue_; }
+
+ private:
+  void Touch(NodeId v) {
+    RESACC_DCHECK(v < reserve_.size());
+    if (!is_touched_[v]) {
+      is_touched_[v] = 1;
+      touched_.push_back(v);
+    }
+  }
+
+  std::vector<Score> reserve_;
+  std::vector<Score> residue_;
+  std::vector<std::uint8_t> is_touched_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_PUSH_STATE_H_

@@ -1,0 +1,48 @@
+#ifndef RESACC_CORE_RANDOM_WALK_H_
+#define RESACC_CORE_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// Counters for walk-based phases.
+struct WalkStats {
+  std::uint64_t walks = 0;
+  std::uint64_t steps = 0;
+
+  WalkStats& operator+=(const WalkStats& other) {
+    walks += other.walks;
+    steps += other.steps;
+    return *this;
+  }
+};
+
+// Simulates one random walk with restart-as-termination (Section II-A):
+// starting at `start`, the walk terminates with probability alpha at each
+// step, otherwise moves to a uniform out-neighbour. Dangling behaviour per
+// config (jump to `restart_node` or absorb). Returns the terminal node.
+inline NodeId RandomWalkTerminal(const Graph& graph, const RwrConfig& config,
+                                 NodeId restart_node, NodeId start, Rng& rng,
+                                 WalkStats& stats) {
+  NodeId current = start;
+  ++stats.walks;
+  while (!rng.Bernoulli(config.alpha)) {
+    const NodeId degree = graph.OutDegree(current);
+    if (degree == 0) {
+      if (config.dangling == DanglingPolicy::kAbsorb) return current;
+      current = restart_node;
+    } else {
+      current = graph.OutNeighbor(current, rng.NextBounded32(degree));
+    }
+    ++stats.steps;
+  }
+  return current;
+}
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_RANDOM_WALK_H_

@@ -1,0 +1,56 @@
+#include "resacc/core/remedy.h"
+
+#include <cmath>
+
+#include "resacc/util/check.h"
+#include "resacc/util/timer.h"
+
+namespace resacc {
+
+RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
+                      NodeId source, const PushState& state, Rng& rng,
+                      std::vector<Score>& scores, double walk_scale,
+                      double time_budget_seconds) {
+  RESACC_CHECK(scores.size() == graph.num_nodes());
+  RemedyStats stats;
+  Timer budget_timer;
+
+  const Score r_sum = state.ResidueSum();
+  stats.residue_sum = r_sum;
+  if (r_sum <= 0.0) return stats;
+
+  // n_r = r_sum * c (Algorithm 2 line 7, Theorem 3).
+  const double n_r = r_sum * config.WalkCountCoefficient() * walk_scale;
+  stats.target_walks = n_r;
+  if (n_r <= 0.0) return stats;
+
+  WalkStats walk_stats;
+  for (NodeId v : state.touched()) {
+    const Score residue = state.residue(v);
+    if (residue <= 0.0) continue;
+    // Budget check per residual node (walk batches are short, so this
+    // granularity tracks the budget closely without a per-walk clock read).
+    if (time_budget_seconds > 0.0 &&
+        budget_timer.ElapsedSeconds() >= time_budget_seconds) {
+      stats.budget_exhausted = true;
+      break;
+    }
+    // n_r(v) = ceil(r(v) * n_r / r_sum); each walk carries weight
+    // a(v) * r_sum / n_r = r(v) / n_r(v)  (Algorithm 2 lines 10-15).
+    const double exact = residue * n_r / r_sum;
+    const std::uint64_t walks_v =
+        static_cast<std::uint64_t>(std::ceil(exact));
+    RESACC_DCHECK(walks_v >= 1);
+    const Score increment = residue / static_cast<Score>(walks_v);
+    for (std::uint64_t i = 0; i < walks_v; ++i) {
+      const NodeId terminal =
+          RandomWalkTerminal(graph, config, source, v, rng, walk_stats);
+      scores[terminal] += increment;
+    }
+  }
+  stats.walks = walk_stats.walks;
+  stats.steps = walk_stats.steps;
+  return stats;
+}
+
+}  // namespace resacc

@@ -1,0 +1,46 @@
+#ifndef RESACC_CORE_REMEDY_H_
+#define RESACC_CORE_REMEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "resacc/core/push_state.h"
+#include "resacc/core/random_walk.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// Outcome counters of a remedy phase.
+struct RemedyStats {
+  Score residue_sum = 0.0;      // r_sum fed into the walk-count formula
+  std::uint64_t walks = 0;      // total walks simulated
+  std::uint64_t steps = 0;      // total walk steps
+  double target_walks = 0.0;    // n_r from Theorem 3 (before ceil per node)
+  bool budget_exhausted = false;  // stopped early by the time budget
+};
+
+// The remedy phase shared by ResAcc (Algorithm 2 lines 5-17) and FORA:
+// converts the residues left in `state` into unbiased score corrections by
+// simulating n_r(v) = ceil(r(v) * n_r / r_sum) walks from each node v with
+// positive residue, adding r(v) / n_r(v) to the terminal node of each walk.
+//
+// `scores` must be sized num_nodes; corrections are accumulated into it
+// (callers pre-fill it with the reserves).
+//
+// `walk_scale` multiplies n_r — used by the paper's "fair comparison"
+// experiments (Appendix F adjusts walk counts by n_scale) and by MC-style
+// callers. 1.0 reproduces Theorem 3 exactly.
+//
+// `time_budget_seconds` > 0 makes the walk loop stop once the budget is
+// spent, leaving later residues uncorrected (the equal-time comparison of
+// Fig. 6(a) terminates FORA this way).
+RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
+                      NodeId source, const PushState& state, Rng& rng,
+                      std::vector<Score>& scores, double walk_scale = 1.0,
+                      double time_budget_seconds = 0.0);
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_REMEDY_H_

@@ -1,0 +1,87 @@
+#ifndef RESACC_CORE_RESACC_SOLVER_H_
+#define RESACC_CORE_RESACC_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resacc/core/h_hop_fwd.h"
+#include "resacc/core/push_state.h"
+#include "resacc/core/remedy.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// Tuning knobs of the full ResAcc pipeline (Algorithm 2).
+struct ResAccOptions {
+  // r_max^hop of the h-HopFWD phase. Paper default: 1e-14.
+  Score r_max_hop = 1e-14;
+  // r_max^f of the OMFWD phase. <= 0 selects the paper default 1/(10 m).
+  Score r_max_f = 0.0;
+  // h; the paper uses 2 everywhere except DBLP (3). See Fig. 21.
+  std::uint32_t num_hops = 2;
+  // Adaptive hop-set cap (our extension; see HHopFwdOptions): shrink the
+  // effective h when the source's hop set exceeds this fraction of n —
+  // keeps hub-source queries from drowning in the accumulating phase.
+  // 0 disables.
+  double max_hop_set_fraction = 0.15;
+  // Remedy walk multiplier n_scale (Appendix F); 1.0 = Theorem 3 count.
+  double walk_scale = 1.0;
+
+  // Ablation switches (Appendix K). All true = full ResAcc.
+  bool use_loop_accumulation = true;  // false => "No-Loop-ResAcc"
+  bool use_hop_subgraph = true;       // false => "No-SG-ResAcc"
+  bool use_omfwd = true;              // false => "No-OFD-ResAcc"
+};
+
+// Per-query diagnostics: phase timings (Table VII), operation counts, and
+// the h-HopFWD internals (rho, T, S).
+struct ResAccQueryStats {
+  double hhop_seconds = 0.0;
+  double omfwd_seconds = 0.0;
+  double remedy_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  HHopFwdStats hhop;
+  PushStats omfwd_push;
+  RemedyStats remedy;
+  Score residue_sum_after_omfwd = 0.0;
+};
+
+// The paper's algorithm: h-HopFWD + OMFWD + remedy (Algorithm 2). One
+// instance per graph; Query is repeatable and reuses workspaces.
+class ResAccSolver : public SsrwrAlgorithm {
+ public:
+  ResAccSolver(const Graph& graph, const RwrConfig& config,
+               const ResAccOptions& options);
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<Score> Query(NodeId source) override;
+
+  // Diagnostics of the most recent Query call.
+  const ResAccQueryStats& last_stats() const { return last_stats_; }
+
+  // Effective r_max^f after applying the 1/(10 m) default.
+  Score effective_r_max_f() const { return r_max_f_; }
+
+  const RwrConfig& config() const { return config_; }
+  const ResAccOptions& options() const { return options_; }
+
+ private:
+  const Graph& graph_;
+  RwrConfig config_;
+  ResAccOptions options_;
+  Score r_max_f_;
+  std::string name_;
+  PushState state_;
+  Rng rng_;
+  ResAccQueryStats last_stats_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_RESACC_SOLVER_H_

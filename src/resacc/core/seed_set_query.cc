@@ -1,0 +1,47 @@
+#include "resacc/core/seed_set_query.h"
+
+#include <cmath>
+
+#include "resacc/core/push_state.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+SeedSetQueryResult SeedSetSsrwr(const Graph& graph, const RwrConfig& config,
+                                const std::vector<NodeId>& seeds,
+                                Score r_max, Rng& rng) {
+  RESACC_CHECK(!seeds.empty());
+  RESACC_CHECK(config.Validate().ok());
+  if (config.dangling == DanglingPolicy::kBackToSource) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      RESACC_CHECK_MSG(graph.OutDegree(u) > 0,
+                       "SeedSetSsrwr requires kAbsorb on graphs with sinks");
+    }
+  }
+  if (r_max <= 0.0) {
+    r_max = 1.0 / std::sqrt(static_cast<double>(graph.num_edges()) *
+                            config.WalkCountCoefficient());
+  }
+
+  SeedSetQueryResult result;
+  PushState state(graph.num_nodes());
+  const Score share = 1.0 / static_cast<Score>(seeds.size());
+  for (NodeId seed : seeds) {
+    RESACC_CHECK(seed < graph.num_nodes());
+    state.AddResidue(seed, share);  // AddResidue: duplicate seeds stack
+  }
+
+  // The restart node only matters under kBackToSource, which the check
+  // above restricts to sink-free graphs where it is never consulted.
+  const NodeId restart = seeds.front();
+  result.push = RunForwardSearch(graph, config, restart, r_max, seeds,
+                                 /*push_seeds_unconditionally=*/false, state);
+
+  result.scores.assign(graph.num_nodes(), 0.0);
+  for (NodeId v : state.touched()) result.scores[v] = state.reserve(v);
+  result.remedy = RunRemedy(graph, config, restart, state, rng,
+                            result.scores);
+  return result;
+}
+
+}  // namespace resacc

@@ -1,0 +1,40 @@
+#ifndef RESACC_CORE_SEED_SET_QUERY_H_
+#define RESACC_CORE_SEED_SET_QUERY_H_
+
+#include <vector>
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/remedy.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// SSRWR from a *seed set*: the walk starts at a uniformly random node of
+// `seeds` (so the result is the average of the per-seed RWR vectors, by
+// linearity). This is the primitive behind NISE's neighbourhood-inflated
+// seed expansion — expanding from {seed} ∪ N(seed) instead of the seed
+// alone — and behind preference-set personalization generally.
+//
+// Implementation: residues initialized to 1/|seeds| on each seed, one
+// forward search with threshold `r_max` (<= 0 selects FORA's balanced
+// default 1/sqrt(m c)), then the remedy estimator. The per-node guarantee
+// of Definition 1 carries over with pi(seeds, t) in place of pi(s, t).
+//
+// On graphs with sinks this requires DanglingPolicy::kAbsorb (a
+// kBackToSource walk would need to restart into the whole set, which the
+// single-source push/walk kernels do not represent); checked at runtime.
+struct SeedSetQueryResult {
+  std::vector<Score> scores;
+  PushStats push;
+  RemedyStats remedy;
+};
+
+SeedSetQueryResult SeedSetSsrwr(const Graph& graph, const RwrConfig& config,
+                                const std::vector<NodeId>& seeds,
+                                Score r_max, Rng& rng);
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_SEED_SET_QUERY_H_

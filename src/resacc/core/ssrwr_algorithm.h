@@ -1,0 +1,61 @@
+#ifndef RESACC_CORE_SSRWR_ALGORITHM_H_
+#define RESACC_CORE_SSRWR_ALGORITHM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "resacc/util/status.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Common interface of every single-source RWR solver in the library, so the
+// evaluation harness and the benches treat ResAcc and the baselines
+// uniformly. A solver is bound to one graph at construction; Query may be
+// called repeatedly (solvers reuse internal workspaces).
+class SsrwrAlgorithm {
+ public:
+  virtual ~SsrwrAlgorithm() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Estimated RWR values of every node w.r.t. `source`.
+  virtual std::vector<Score> Query(NodeId source) = 0;
+
+  // MSRWR (Section VI "Extension to MSRWR"): one SSRWR per source, the
+  // natural extension the paper evaluates. Overridable if a solver can
+  // share work across sources.
+  virtual std::vector<std::vector<Score>> QueryMany(
+      const std::vector<NodeId>& sources) {
+    std::vector<std::vector<Score>> results;
+    results.reserve(sources.size());
+    for (NodeId s : sources) results.push_back(Query(s));
+    return results;
+  }
+};
+
+// Interface of index-oriented solvers (BePI, TPA, FORA+): they add an
+// offline phase and report index footprint; Table IV and Fig. 23 use these.
+class IndexedSsrwrAlgorithm : public SsrwrAlgorithm {
+ public:
+  // Builds the offline index. May fail, e.g. kResourceExhausted when the
+  // index would exceed a configured memory budget.
+  virtual Status BuildIndex() = 0;
+
+  virtual bool IndexReady() const = 0;
+
+  // Bytes held by the index (excluding the graph itself).
+  virtual std::size_t IndexBytes() const = 0;
+
+  // Index maintenance after a node deletion. The methods the paper
+  // studies all rebuild from scratch (Appendix I); solvers may override
+  // with something smarter. Returns the rebuild status.
+  virtual Status UpdateAfterNodeDeletion(NodeId /*node*/) {
+    return BuildIndex();
+  }
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_SSRWR_ALGORITHM_H_

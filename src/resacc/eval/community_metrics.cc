@@ -1,0 +1,82 @@
+#include "resacc/eval/community_metrics.h"
+
+#include <vector>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+namespace {
+
+// Membership bitmap reused by cut computations.
+std::vector<char> Membership(const Graph& graph,
+                             const std::vector<NodeId>& community) {
+  std::vector<char> in(graph.num_nodes(), 0);
+  for (NodeId v : community) {
+    RESACC_CHECK(v < graph.num_nodes());
+    in[v] = 1;
+  }
+  return in;
+}
+
+}  // namespace
+
+std::size_t CommunityCut(const Graph& graph,
+                         const std::vector<NodeId>& community) {
+  const std::vector<char> in = Membership(graph, community);
+  std::size_t cut = 0;
+  for (NodeId u : community) {
+    for (NodeId v : graph.OutNeighbors(u)) cut += in[v] ? 0 : 1;
+  }
+  return cut;
+}
+
+std::size_t CommunityVolume(const Graph& graph,
+                            const std::vector<NodeId>& community) {
+  std::size_t volume = 0;
+  for (NodeId u : community) volume += graph.OutDegree(u);
+  return volume;
+}
+
+double NormalizedCut(const Graph& graph,
+                     const std::vector<NodeId>& community) {
+  const std::size_t volume = CommunityVolume(graph, community);
+  if (volume == 0) return 0.0;
+  return static_cast<double>(CommunityCut(graph, community)) /
+         static_cast<double>(volume);
+}
+
+double Conductance(const Graph& graph, const std::vector<NodeId>& community) {
+  const std::size_t volume = CommunityVolume(graph, community);
+  const std::size_t complement_volume =
+      static_cast<std::size_t>(graph.num_edges()) - volume +
+      CommunityCut(graph, community);
+  // links(V-C, V) counts edges incident to the complement: all edges not
+  // fully inside C. For the symmetric graphs used here,
+  // links(V-C, V) = m - links(C,V) + cut(C).
+  const std::size_t denominator = std::min(volume, complement_volume);
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(CommunityCut(graph, community)) /
+         static_cast<double>(denominator);
+}
+
+double AverageNormalizedCut(
+    const Graph& graph, const std::vector<std::vector<NodeId>>& communities) {
+  if (communities.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& community : communities) {
+    sum += NormalizedCut(graph, community);
+  }
+  return sum / static_cast<double>(communities.size());
+}
+
+double AverageConductance(
+    const Graph& graph, const std::vector<std::vector<NodeId>>& communities) {
+  if (communities.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& community : communities) {
+    sum += Conductance(graph, community);
+  }
+  return sum / static_cast<double>(communities.size());
+}
+
+}  // namespace resacc

@@ -1,0 +1,36 @@
+#ifndef RESACC_EVAL_COMMUNITY_METRICS_H_
+#define RESACC_EVAL_COMMUNITY_METRICS_H_
+
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Community quality metrics (Appendix L definitions). The community graphs
+// in the experiments are symmetrized, so edge counts use the out-adjacency
+// (each undirected edge appears once per direction).
+
+// cut(C): number of directed edges leaving C (one endpoint in, one out).
+std::size_t CommunityCut(const Graph& graph, const std::vector<NodeId>& community);
+
+// links(C, V): sum of degrees of C's nodes (every edge incident to C).
+std::size_t CommunityVolume(const Graph& graph,
+                            const std::vector<NodeId>& community);
+
+// ncut(C) = cut(C) / links(C, V).
+double NormalizedCut(const Graph& graph, const std::vector<NodeId>& community);
+
+// cond(C) = cut(C) / min(links(C, V), links(V-C, V)).
+double Conductance(const Graph& graph, const std::vector<NodeId>& community);
+
+// Averages over a set of communities (ANC / AC of Tables V-VI).
+double AverageNormalizedCut(const Graph& graph,
+                            const std::vector<std::vector<NodeId>>& communities);
+double AverageConductance(const Graph& graph,
+                          const std::vector<std::vector<NodeId>>& communities);
+
+}  // namespace resacc
+
+#endif  // RESACC_EVAL_COMMUNITY_METRICS_H_

@@ -1,0 +1,17 @@
+#include "resacc/eval/ground_truth.h"
+
+namespace resacc {
+
+GroundTruthCache::GroundTruthCache(const Graph& graph, const RwrConfig& config,
+                                   double tolerance)
+    : power_(graph, config, tolerance) {}
+
+const std::vector<Score>& GroundTruthCache::Get(NodeId source) {
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    it = cache_.emplace(source, power_.Query(source)).first;
+  }
+  return it->second;
+}
+
+}  // namespace resacc

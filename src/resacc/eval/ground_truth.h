@@ -1,0 +1,35 @@
+#ifndef RESACC_EVAL_GROUND_TRUTH_H_
+#define RESACC_EVAL_GROUND_TRUTH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "resacc/algo/power.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+
+namespace resacc {
+
+// High-precision ground-truth RWR values, computed by power iteration
+// (the paper's ground-truth generator) and memoized per source so one set
+// of sources can feed many algorithms/metrics without recomputation.
+class GroundTruthCache {
+ public:
+  // `tolerance` bounds the L1 mass unaccounted for; 1e-12 makes the
+  // ground-truth error negligible against the epsilon = 0.5 regimes under
+  // evaluation.
+  GroundTruthCache(const Graph& graph, const RwrConfig& config,
+                   double tolerance = 1e-12);
+
+  const std::vector<Score>& Get(NodeId source);
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  PowerIteration power_;
+  std::unordered_map<NodeId, std::vector<Score>> cache_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_EVAL_GROUND_TRUTH_H_

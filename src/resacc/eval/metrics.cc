@@ -1,0 +1,97 @@
+#include "resacc/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "resacc/util/check.h"
+#include "resacc/util/top_k.h"
+
+namespace resacc {
+namespace {
+
+std::vector<Score> SortedDesc(const std::vector<Score>& values,
+                              std::size_t prefix) {
+  std::vector<Score> sorted = values;
+  prefix = std::min(prefix, sorted.size());
+  std::partial_sort(sorted.begin(), sorted.begin() + static_cast<long>(prefix),
+                    sorted.end(), std::greater<Score>());
+  sorted.resize(prefix);
+  return sorted;
+}
+
+}  // namespace
+
+double AbsErrorAtK(const std::vector<Score>& estimate,
+                   const std::vector<Score>& exact, std::size_t k) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  RESACC_CHECK(!estimate.empty());
+  RESACC_CHECK(k >= 1);
+  k = std::min(k, estimate.size());
+  const std::vector<Score> est_sorted = SortedDesc(estimate, k);
+  const std::vector<Score> exa_sorted = SortedDesc(exact, k);
+  return std::fabs(est_sorted[k - 1] - exa_sorted[k - 1]);
+}
+
+double MeanAbsError(const std::vector<Score>& estimate,
+                    const std::vector<Score>& exact) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  RESACC_CHECK(!estimate.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    sum += std::fabs(estimate[i] - exact[i]);
+  }
+  return sum / static_cast<double>(estimate.size());
+}
+
+double MeanAbsErrorTopK(const std::vector<Score>& estimate,
+                        const std::vector<Score>& exact, std::size_t k) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  const std::vector<NodeId> top = TopKIndices(exact, k);
+  RESACC_CHECK(!top.empty());
+  double sum = 0.0;
+  for (NodeId v : top) sum += std::fabs(estimate[v] - exact[v]);
+  return sum / static_cast<double>(top.size());
+}
+
+double MaxRelativeErrorAboveDelta(const std::vector<Score>& estimate,
+                                  const std::vector<Score>& exact,
+                                  double delta) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] > delta) {
+      worst = std::max(worst, std::fabs(estimate[i] - exact[i]) / exact[i]);
+    }
+  }
+  return worst;
+}
+
+double NdcgAtK(const std::vector<Score>& estimate,
+               const std::vector<Score>& exact, std::size_t k) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  const std::vector<NodeId> est_order = TopKIndices(estimate, k);
+  const std::vector<NodeId> ideal_order = TopKIndices(exact, k);
+  double dcg = 0.0;
+  double ideal = 0.0;
+  for (std::size_t i = 0; i < est_order.size(); ++i) {
+    const double discount = 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    dcg += exact[est_order[i]] * discount;
+    ideal += exact[ideal_order[i]] * discount;
+  }
+  return ideal > 0.0 ? dcg / ideal : 1.0;
+}
+
+double PrecisionAtK(const std::vector<Score>& estimate,
+                    const std::vector<Score>& exact, std::size_t k) {
+  RESACC_CHECK(estimate.size() == exact.size());
+  const std::vector<NodeId> est_top = TopKIndices(estimate, k);
+  const std::vector<NodeId> true_top = TopKIndices(exact, k);
+  RESACC_CHECK(!true_top.empty());
+  std::unordered_set<NodeId> truth(true_top.begin(), true_top.end());
+  std::size_t hits = 0;
+  for (NodeId v : est_top) hits += truth.count(v);
+  return static_cast<double>(hits) / static_cast<double>(true_top.size());
+}
+
+}  // namespace resacc

@@ -1,0 +1,48 @@
+#ifndef RESACC_EVAL_METRICS_H_
+#define RESACC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Accuracy metrics used throughout the paper's evaluation (Section VII-A
+// cites absolute error and NDCG, following TopPPR [29]).
+
+// |k-th largest estimated value - k-th largest exact value| (Fig. 4 plots
+// this for k in {1, 10, ..., 1e5}). k is 1-based; k beyond n clamps.
+double AbsErrorAtK(const std::vector<Score>& estimate,
+                   const std::vector<Score>& exact, std::size_t k);
+
+// Mean |estimate(v) - exact(v)| over all nodes ("average absolute error"
+// of the distribution/boxplot figures).
+double MeanAbsError(const std::vector<Score>& estimate,
+                    const std::vector<Score>& exact);
+
+// Mean |estimate - exact| over the true top-k nodes.
+double MeanAbsErrorTopK(const std::vector<Score>& estimate,
+                        const std::vector<Score>& exact, std::size_t k);
+
+// Largest relative error among nodes whose exact value exceeds `delta` —
+// directly checks the Definition 1 guarantee.
+double MaxRelativeErrorAboveDelta(const std::vector<Score>& estimate,
+                                  const std::vector<Score>& exact,
+                                  double delta);
+
+// NDCG@k with graded relevance = exact RWR value: rank nodes by the
+// estimate, gain of rank-i node is its exact value, discount 1/log2(i+1);
+// normalized by the ideal (exact-order) DCG. 1.0 = the estimate orders the
+// top-k perfectly (Fig. 5).
+double NdcgAtK(const std::vector<Score>& estimate,
+               const std::vector<Score>& exact, std::size_t k);
+
+// Fraction of the true top-k contained in the estimated top-k
+// (TopPPR's precision metric).
+double PrecisionAtK(const std::vector<Score>& estimate,
+                    const std::vector<Score>& exact, std::size_t k);
+
+}  // namespace resacc
+
+#endif  // RESACC_EVAL_METRICS_H_

@@ -1,0 +1,37 @@
+#include "resacc/eval/sources.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "resacc/util/check.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+std::vector<NodeId> PickUniformSources(const Graph& graph, std::size_t count,
+                                       std::uint64_t seed) {
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.OutDegree(v) > 0) eligible.push_back(v);
+  }
+  RESACC_CHECK(!eligible.empty());
+  count = std::min(count, eligible.size());
+
+  Rng rng(seed);
+  // Partial Fisher-Yates over the eligible pool.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.NextBounded(eligible.size() - i);
+    std::swap(eligible[i], eligible[j]);
+  }
+  eligible.resize(count);
+  return eligible;
+}
+
+std::vector<NodeId> PickTopOutDegreeSources(const Graph& graph,
+                                            std::size_t count) {
+  std::vector<NodeId> nodes = graph.NodesByOutDegreeDesc();
+  nodes.resize(std::min(count, nodes.size()));
+  return nodes;
+}
+
+}  // namespace resacc

@@ -1,0 +1,27 @@
+#ifndef RESACC_EVAL_SOURCES_H_
+#define RESACC_EVAL_SOURCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Query-node selection for the experiments.
+
+// `count` distinct nodes uniformly at random (the paper's default: "50
+// source nodes chosen uniformly at random"). Only nodes with at least one
+// out-edge are eligible, so every algorithm has work to do.
+std::vector<NodeId> PickUniformSources(const Graph& graph, std::size_t count,
+                                       std::uint64_t seed);
+
+// The `count` nodes with the largest out-degrees (Appendix C's "hub"
+// query-node experiment).
+std::vector<NodeId> PickTopOutDegreeSources(const Graph& graph,
+                                            std::size_t count);
+
+}  // namespace resacc
+
+#endif  // RESACC_EVAL_SOURCES_H_

@@ -1,0 +1,145 @@
+#include "resacc/graph/components.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "resacc/graph/graph_builder.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+std::uint32_t ComponentDecomposition::LargestComponent() const {
+  RESACC_CHECK(num_components > 0);
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < num_components; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<NodeId> ComponentDecomposition::NodesOf(
+    std::uint32_t component) const {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < component_of.size(); ++v) {
+    if (component_of[v] == component) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+ComponentDecomposition WeaklyConnectedComponents(const Graph& graph) {
+  ComponentDecomposition result;
+  result.component_of.assign(graph.num_nodes(), 0xffffffffu);
+
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (result.component_of[start] != 0xffffffffu) continue;
+    const std::uint32_t id = result.num_components++;
+    std::size_t size = 0;
+    std::deque<NodeId> queue{start};
+    result.component_of[start] = id;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      ++size;
+      auto expand = [&](NodeId w) {
+        if (result.component_of[w] == 0xffffffffu) {
+          result.component_of[w] = id;
+          queue.push_back(w);
+        }
+      };
+      for (NodeId w : graph.OutNeighbors(u)) expand(w);
+      for (NodeId w : graph.InNeighbors(u)) expand(w);
+    }
+    result.sizes.push_back(size);
+  }
+  return result;
+}
+
+ComponentDecomposition StronglyConnectedComponents(const Graph& graph) {
+  // Iterative Tarjan. Explicit stack frames: (node, next-neighbour index).
+  const NodeId n = graph.num_nodes();
+  ComponentDecomposition result;
+  result.component_of.assign(n, 0xffffffffu);
+
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> low_link(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<NodeId> scc_stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    std::uint32_t next_neighbor;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = low_link[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const auto neighbors = graph.OutNeighbors(u);
+      if (frame.next_neighbor < neighbors.size()) {
+        const NodeId w = neighbors[frame.next_neighbor++];
+        if (index[w] == kUnvisited) {
+          index[w] = low_link[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low_link[u] = std::min(low_link[u], index[w]);
+        }
+        continue;
+      }
+      // u finished: root of an SCC if low_link == index.
+      if (low_link[u] == index[u]) {
+        const std::uint32_t id = result.num_components++;
+        std::size_t size = 0;
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          result.component_of[w] = id;
+          ++size;
+        } while (w != u);
+        result.sizes.push_back(size);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const NodeId parent = call_stack.back().node;
+        low_link[parent] = std::min(low_link[parent], low_link[u]);
+      }
+    }
+  }
+  return result;
+}
+
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> mapping(graph.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    RESACC_CHECK(nodes[i] < graph.num_nodes());
+    RESACC_CHECK_MSG(mapping[nodes[i]] == kInvalidNode,
+                     "duplicate node in induced subgraph set");
+    mapping[nodes[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (NodeId u : nodes) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (mapping[v] != kInvalidNode) {
+        builder.AddEdge(mapping[u], mapping[v]);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return std::move(builder).Build();
+}
+
+}  // namespace resacc

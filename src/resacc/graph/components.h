@@ -1,0 +1,43 @@
+#ifndef RESACC_GRAPH_COMPONENTS_H_
+#define RESACC_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Connected-component decompositions. Used by the NISE filtering phase
+// (expansion only makes sense inside the giant component), by dataset
+// sanity checks, and available as public API.
+
+struct ComponentDecomposition {
+  // component_of[v] in [0, num_components).
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t num_components = 0;
+  // Sizes indexed by component id.
+  std::vector<std::size_t> sizes;
+
+  // Id of the largest component (ties: smallest id).
+  std::uint32_t LargestComponent() const;
+  // Nodes of one component, ascending.
+  std::vector<NodeId> NodesOf(std::uint32_t component) const;
+};
+
+// Weakly connected components (edges treated as undirected).
+ComponentDecomposition WeaklyConnectedComponents(const Graph& graph);
+
+// Strongly connected components (Tarjan, iterative — no recursion-depth
+// limit on path graphs).
+ComponentDecomposition StronglyConnectedComponents(const Graph& graph);
+
+// The subgraph induced by `nodes`, with nodes renumbered 0..|nodes|-1 in
+// the given order. `old_to_new` (optional out) receives the mapping,
+// kInvalidNode for dropped nodes.
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_COMPONENTS_H_

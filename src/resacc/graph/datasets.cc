@@ -1,0 +1,94 @@
+#include "resacc/graph/datasets.h"
+
+#include <algorithm>
+
+#include "resacc/graph/generators.h"
+#include "resacc/util/check.h"
+
+namespace resacc {
+namespace {
+
+std::vector<DatasetSpec> BuildRegistry() {
+  // base_edges counts *directed* edges after symmetrization, matching how
+  // the paper's Table II counts m for undirected datasets.
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"dblp-sim", "DBLP", /*directed=*/false, 317e3, 2.1e6,
+                   /*h=*/3, 20000, 132000});
+  specs.push_back({"webstan-sim", "Web-Stan", /*directed=*/true, 282e3, 2.3e6,
+                   /*h=*/2, 18000, 148000});
+  specs.push_back({"pokec-sim", "Pokec", /*directed=*/true, 1.63e6, 30.6e6,
+                   /*h=*/2, 24000, 451000});
+  specs.push_back({"lj-sim", "LJ", /*directed=*/true, 4.8e6, 69.0e6,
+                   /*h=*/2, 28000, 487000});
+  specs.push_back({"orkut-sim", "Orkut", /*directed=*/false, 3.1e6, 117.2e6,
+                   /*h=*/2, 20000, 762000});
+  specs.push_back({"twitter-sim", "Twitter", /*directed=*/true, 41.7e6, 1.5e9,
+                   /*h=*/2, 32000, 1130000});
+  specs.push_back({"friendster-sim", "Friendster", /*directed=*/false, 65.7e6,
+                   2.1e9, /*h=*/2, 36000, 1372000});
+  specs.push_back({"facebook-sim", "Facebook", /*directed=*/false, 4039,
+                   176468, /*h=*/2, 4000, 176000});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>& registry =
+      *new std::vector<DatasetSpec>(BuildRegistry());
+  return registry;
+}
+
+StatusOr<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Graph MakeDataset(const DatasetSpec& spec, double scale, std::uint64_t seed) {
+  RESACC_CHECK(scale > 0.0);
+  const NodeId n = std::max<NodeId>(
+      64, static_cast<NodeId>(static_cast<double>(spec.base_nodes) * scale));
+  const EdgeId m_directed = std::max<EdgeId>(
+      256, static_cast<EdgeId>(static_cast<double>(spec.base_edges) * scale));
+
+  if (spec.name == "facebook-sim") {
+    // Dense small social network with strong community structure: the NISE
+    // experiment needs detectable overlapping communities.
+    const double avg_deg = static_cast<double>(m_directed) /
+                           static_cast<double>(n);  // directed degree
+    return PlantedPartition(n, /*num_blocks=*/16,
+                            /*deg_in=*/avg_deg * 0.8 / 2.0,
+                            /*deg_out=*/avg_deg * 0.2 / 2.0, seed);
+  }
+
+  // Per-dataset degree-distribution shape. Lower exponent = heavier tail.
+  double exponent = 2.3;
+  bool correlated = true;
+  if (spec.name == "webstan-sim") {
+    exponent = 2.1;
+    correlated = false;  // web graphs: in-hubs are not out-hubs
+  } else if (spec.name == "pokec-sim" || spec.name == "lj-sim") {
+    exponent = 2.15;
+  } else if (spec.name == "twitter-sim") {
+    exponent = 2.0;  // extreme skew
+    correlated = false;
+  } else if (spec.name == "friendster-sim") {
+    exponent = 2.4;
+  }
+
+  if (spec.directed) {
+    return ChungLuPowerLaw(n, m_directed, exponent, seed,
+                           /*symmetrize=*/false, correlated);
+  }
+  // Undirected: generate half as many node pairs, symmetrization doubles.
+  return ChungLuPowerLaw(n, m_directed / 2, exponent, seed,
+                         /*symmetrize=*/true, /*in_out_correlated=*/true);
+}
+
+std::vector<DatasetSpec> HeadlineDatasets() {
+  return {FindDataset("dblp-sim").value(), FindDataset("twitter-sim").value()};
+}
+
+}  // namespace resacc

@@ -1,0 +1,176 @@
+#include "resacc/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "resacc/graph/graph_builder.h"
+#include "resacc/util/alias_table.h"
+#include "resacc/util/check.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+Graph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, std::uint64_t seed,
+                 bool symmetrize) {
+  RESACC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes, symmetrize);
+  builder.Reserve(num_edges * (symmetrize ? 2 : 1));
+  // Sampling with replacement; the builder dedups. For the sparse graphs we
+  // generate (m << n^2) the expected duplicate fraction is negligible.
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    const NodeId u = rng.NextBounded32(num_nodes);
+    NodeId v = rng.NextBounded32(num_nodes - 1);
+    if (v >= u) ++v;  // uniform over nodes != u
+    builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+// Power-law weights w_i = (i + i0)^(-1/(exponent-1)), the standard Chung-Lu
+// construction for a degree distribution P(d) ~ d^(-exponent). i0 offsets
+// the sequence so the maximum expected degree stays below sqrt(m)-ish,
+// keeping edge probabilities valid.
+std::vector<double> PowerLawWeights(NodeId n, double exponent, Rng& rng,
+                                    bool shuffle) {
+  RESACC_CHECK(exponent > 1.0);
+  const double power = -1.0 / (exponent - 1.0);
+  const double i0 = std::max(1.0, std::pow(static_cast<double>(n), 0.2));
+  std::vector<double> weights(n);
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + i0, power);
+  }
+  if (shuffle) {
+    for (NodeId i = n; i > 1; --i) {
+      const NodeId j = rng.NextBounded32(i);
+      std::swap(weights[i - 1], weights[j]);
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+Graph ChungLuPowerLaw(NodeId num_nodes, EdgeId num_edges, double exponent,
+                      std::uint64_t seed, bool symmetrize,
+                      bool in_out_correlated) {
+  RESACC_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  // Node identities are shuffled so that node id does not encode degree;
+  // hop-layer structure should not correlate with ids in tests/benches.
+  const std::vector<double> out_weights =
+      PowerLawWeights(num_nodes, exponent, rng, /*shuffle=*/true);
+  std::vector<double> in_weights = out_weights;
+  if (!in_out_correlated) {
+    Rng shuffle_rng = rng.Fork(0x1234);
+    for (NodeId i = num_nodes; i > 1; --i) {
+      const NodeId j = shuffle_rng.NextBounded32(i);
+      std::swap(in_weights[i - 1], in_weights[j]);
+    }
+  }
+
+  const AliasTable out_table(out_weights);
+  const AliasTable in_table(in_weights);
+
+  GraphBuilder builder(num_nodes, symmetrize);
+  builder.Reserve(num_edges * (symmetrize ? 2 : 1));
+  // Draw slightly more raw samples than requested edges to compensate for
+  // self-loop rejections and duplicates collapsed by the builder.
+  const EdgeId raw_samples = num_edges + num_edges / 8;
+  for (EdgeId i = 0; i < raw_samples; ++i) {
+    const NodeId u = static_cast<NodeId>(out_table.Sample(rng));
+    const NodeId v = static_cast<NodeId>(in_table.Sample(rng));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Graph BarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                     std::uint64_t seed) {
+  RESACC_CHECK(num_nodes > edges_per_node);
+  RESACC_CHECK(edges_per_node >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes, /*symmetrize=*/true);
+
+  // Repeated-endpoint list: choosing a uniform element is preferential
+  // attachment by degree.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(num_nodes) *
+                        edges_per_node * 2);
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  for (NodeId u = edges_per_node + 1; u < num_nodes; ++u) {
+    for (NodeId e = 0; e < edges_per_node; ++e) {
+      const NodeId v =
+          endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (v == u) continue;  // occasional lost edge is fine
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph WattsStrogatz(NodeId num_nodes, NodeId k, double beta,
+                    std::uint64_t seed) {
+  RESACC_CHECK(num_nodes > 2 * k);
+  RESACC_CHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes, /*symmetrize=*/true);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId v = (u + j) % num_nodes;
+      if (rng.Bernoulli(beta)) {
+        v = rng.NextBounded32(num_nodes);
+        if (v == u) continue;
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph PlantedPartition(NodeId num_nodes, NodeId num_blocks, double deg_in,
+                       double deg_out, std::uint64_t seed) {
+  RESACC_CHECK(num_blocks >= 1);
+  RESACC_CHECK(num_nodes >= num_blocks);
+  Rng rng(seed);
+  const NodeId block_size = num_nodes / num_blocks;
+  const NodeId used_nodes = block_size * num_blocks;
+  GraphBuilder builder(num_nodes, /*symmetrize=*/true);
+
+  // Expected edge counts; each sampled as endpoints uniform in the blocks.
+  const EdgeId within_edges = static_cast<EdgeId>(
+      deg_in * static_cast<double>(used_nodes) / 2.0);
+  const EdgeId cross_edges = static_cast<EdgeId>(
+      deg_out * static_cast<double>(used_nodes) / 2.0);
+
+  for (EdgeId i = 0; i < within_edges; ++i) {
+    const NodeId block = rng.NextBounded32(num_blocks);
+    const NodeId base = block * block_size;
+    const NodeId u = base + rng.NextBounded32(block_size);
+    const NodeId v = base + rng.NextBounded32(block_size);
+    if (u != v) builder.AddEdge(u, v);
+  }
+  for (EdgeId i = 0; i < cross_edges; ++i) {
+    const NodeId u = rng.NextBounded32(used_nodes);
+    const NodeId v = rng.NextBounded32(used_nodes);
+    if (u / block_size != v / block_size) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace resacc

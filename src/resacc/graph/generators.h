@@ -1,0 +1,48 @@
+#ifndef RESACC_GRAPH_GENERATORS_H_
+#define RESACC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Synthetic graph generators. All are deterministic in (parameters, seed).
+// They serve two roles: (1) scaled stand-ins for the paper's datasets (see
+// datasets.h and DESIGN.md Section 3), and (2) fixture graphs for tests.
+
+// G(n, m): m distinct directed edges sampled uniformly (no self loops).
+Graph ErdosRenyi(NodeId num_nodes, EdgeId num_edges, std::uint64_t seed,
+                 bool symmetrize = false);
+
+// Chung-Lu power-law graph: endpoints of each of ~num_edges edges are drawn
+// proportionally to per-node weights w_i ~ (i + i0)^(-1/(exponent-1)),
+// giving an expected power-law degree distribution with the given exponent.
+// `in_out_correlated = false` draws source and target from independently
+// shuffled weight sequences (twitter-like: big in-hubs are not necessarily
+// big out-hubs).
+Graph ChungLuPowerLaw(NodeId num_nodes, EdgeId num_edges, double exponent,
+                      std::uint64_t seed, bool symmetrize = false,
+                      bool in_out_correlated = true);
+
+// Barabasi-Albert preferential attachment; every new node attaches
+// `edges_per_node` undirected edges. Result is symmetrized.
+Graph BarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                     std::uint64_t seed);
+
+// Watts-Strogatz small world: ring lattice with k neighbours per side,
+// each edge rewired with probability beta. Symmetrized.
+Graph WattsStrogatz(NodeId num_nodes, NodeId k, double beta,
+                    std::uint64_t seed);
+
+// Planted-partition stochastic block model: `num_blocks` equal blocks,
+// expected within-block degree `deg_in` and cross-block degree `deg_out`
+// per node. Symmetrized. Ground-truth block of node v is
+// v / (num_nodes / num_blocks). Used by the community-detection experiments.
+Graph PlantedPartition(NodeId num_nodes, NodeId num_blocks, double deg_in,
+                       double deg_out, std::uint64_t seed);
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_GENERATORS_H_

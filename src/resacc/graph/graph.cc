@@ -1,0 +1,51 @@
+#include "resacc/graph/graph.h"
+
+#include <algorithm>
+
+namespace resacc {
+
+Graph::Graph(NodeId num_nodes, std::vector<EdgeId> out_offsets,
+             std::vector<NodeId> out_targets, std::vector<EdgeId> in_offsets,
+             std::vector<NodeId> in_sources)
+    : num_nodes_(num_nodes),
+      out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      in_offsets_(std::move(in_offsets)),
+      in_sources_(std::move(in_sources)) {
+  RESACC_CHECK(out_offsets_.size() == static_cast<std::size_t>(num_nodes_) + 1);
+  RESACC_CHECK(in_offsets_.size() == static_cast<std::size_t>(num_nodes_) + 1);
+  RESACC_CHECK(out_offsets_.back() == out_targets_.size());
+  RESACC_CHECK(in_offsets_.back() == in_sources_.size());
+  RESACC_CHECK(out_targets_.size() == in_sources_.size());
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto neighbors = OutNeighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+NodeId Graph::MaxOutDegree() const {
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    max_degree = std::max(max_degree, OutDegree(u));
+  }
+  return max_degree;
+}
+
+std::vector<NodeId> Graph::NodesByOutDegreeDesc() const {
+  std::vector<NodeId> nodes(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) nodes[u] = u;
+  std::stable_sort(nodes.begin(), nodes.end(), [this](NodeId a, NodeId b) {
+    return OutDegree(a) > OutDegree(b);
+  });
+  return nodes;
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeId) +
+         out_targets_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(EdgeId) +
+         in_sources_.size() * sizeof(NodeId);
+}
+
+}  // namespace resacc

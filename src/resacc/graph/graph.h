@@ -1,0 +1,87 @@
+#ifndef RESACC_GRAPH_GRAPH_H_
+#define RESACC_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "resacc/util/check.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Immutable directed graph in CSR form, with both out- and in-adjacency.
+// Out-adjacency drives forward pushes and random walks; in-adjacency drives
+// backward pushes (BiPPR, TopPPR) and index maintenance.
+//
+// Invariants (established by GraphBuilder, checked in debug builds):
+//   * no self loops (the paper's assumption, Section II-A),
+//   * no duplicate edges,
+//   * neighbour lists sorted ascending.
+//
+// Construct via GraphBuilder; Graph itself is movable and cheap to pass by
+// const reference.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Takes ownership of prebuilt CSR arrays. Prefer GraphBuilder.
+  Graph(NodeId num_nodes, std::vector<EdgeId> out_offsets,
+        std::vector<NodeId> out_targets, std::vector<EdgeId> in_offsets,
+        std::vector<NodeId> in_sources);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const {
+    return static_cast<EdgeId>(out_targets_.size());
+  }
+
+  NodeId OutDegree(NodeId u) const {
+    RESACC_DCHECK(u < num_nodes_);
+    return static_cast<NodeId>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  NodeId InDegree(NodeId u) const {
+    RESACC_DCHECK(u < num_nodes_);
+    return static_cast<NodeId>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    RESACC_DCHECK(u < num_nodes_);
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    RESACC_DCHECK(u < num_nodes_);
+    return {in_sources_.data() + in_offsets_[u],
+            in_sources_.data() + in_offsets_[u + 1]};
+  }
+
+  // The j-th out-neighbour of u; random walks index neighbours directly.
+  NodeId OutNeighbor(NodeId u, NodeId j) const {
+    RESACC_DCHECK(j < OutDegree(u));
+    return out_targets_[out_offsets_[u] + j];
+  }
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  NodeId MaxOutDegree() const;
+
+  // Nodes sorted by descending out-degree; used for "hub" query-node
+  // selection (Appendix C) and BePI hub extraction.
+  std::vector<NodeId> NodesByOutDegreeDesc() const;
+
+  // Approximate heap footprint of the CSR arrays, reported as "graph size"
+  // in the Table IV reproduction.
+  std::size_t MemoryBytes() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeId> out_offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> out_targets_;  // size num_edges
+  std::vector<EdgeId> in_offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> in_sources_;   // size num_edges
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_GRAPH_H_

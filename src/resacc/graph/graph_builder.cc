@@ -1,0 +1,54 @@
+#include "resacc/graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to) {
+  RESACC_CHECK(from < num_nodes_);
+  RESACC_CHECK(to < num_nodes_);
+  if (from == to) return;  // self loops are dropped (paper assumption)
+  edges_.emplace_back(from, to);
+  if (symmetrize_) edges_.emplace_back(to, from);
+}
+
+Graph GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const std::size_t n = num_nodes_;
+  const std::size_t m = edges_.size();
+
+  std::vector<EdgeId> out_offsets(n + 1, 0);
+  std::vector<NodeId> out_targets(m);
+  std::vector<EdgeId> in_offsets(n + 1, 0);
+  std::vector<NodeId> in_sources(m);
+
+  for (const auto& [from, to] : edges_) {
+    ++out_offsets[from + 1];
+    ++in_offsets[to + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out_offsets[i + 1] += out_offsets[i];
+    in_offsets[i + 1] += in_offsets[i];
+  }
+
+  // Edges are sorted by (from, to), so a single pass fills out-targets in
+  // order; in-sources need a cursor per node.
+  std::vector<EdgeId> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
+  std::size_t out_pos = 0;
+  for (const auto& [from, to] : edges_) {
+    out_targets[out_pos++] = to;
+    in_sources[in_cursor[to]++] = from;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  return Graph(num_nodes_, std::move(out_offsets), std::move(out_targets),
+               std::move(in_offsets), std::move(in_sources));
+}
+
+}  // namespace resacc

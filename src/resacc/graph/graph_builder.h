@@ -1,0 +1,44 @@
+#ifndef RESACC_GRAPH_GRAPH_BUILDER_H_
+#define RESACC_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Accumulates edges and produces a normalized CSR Graph.
+//
+// Normalization (always applied, matching the paper's preprocessing):
+//   * self loops dropped,
+//   * duplicate edges collapsed,
+//   * if `symmetrize` is set, each edge is added in both directions
+//     (the paper's treatment of undirected graphs, Section II-A).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes, bool symmetrize = false)
+      : num_nodes_(num_nodes), symmetrize_(symmetrize) {}
+
+  // Node ids must be < num_nodes.
+  void AddEdge(NodeId from, NodeId to);
+
+  // Reserve capacity for `count` AddEdge calls.
+  void Reserve(std::size_t count) { edges_.reserve(count); }
+
+  std::size_t PendingEdges() const { return edges_.size(); }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  // Consumes the builder.
+  Graph Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  bool symmetrize_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,157 @@
+#include "resacc/graph/graph_io.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "resacc/graph/graph_builder.h"
+
+namespace resacc {
+
+StatusOr<Graph> LoadEdgeList(const std::string& path, bool symmetrize) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open edge list: " + path);
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  char line[256];
+  std::size_t line_number = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_number;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    unsigned long long from = 0;
+    unsigned long long to = 0;
+    if (std::sscanf(line, "%llu %llu", &from, &to) != 2) {
+      std::fclose(file);
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_number));
+    }
+    if (from >= kInvalidNode || to >= kInvalidNode) {
+      std::fclose(file);
+      return Status::OutOfRange(path + ": node id too large at line " +
+                                std::to_string(line_number));
+    }
+    const NodeId u = static_cast<NodeId>(from);
+    const NodeId v = static_cast<NodeId>(to);
+    edges.emplace_back(u, v);
+    max_id = std::max(max_id, std::max(u, v));
+  }
+  std::fclose(file);
+
+  const NodeId num_nodes = edges.empty() ? 0 : max_id + 1;
+  GraphBuilder builder(num_nodes, symmetrize);
+  builder.Reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).Build();
+}
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x52455341'43433031ULL;  // "RESACC01"
+
+bool WriteAll(std::FILE* file, const void* data, std::size_t bytes) {
+  return std::fwrite(data, 1, bytes, file) == bytes;
+}
+
+bool ReadAll(std::FILE* file, void* data, std::size_t bytes) {
+  return std::fread(data, 1, bytes, file) == bytes;
+}
+
+}  // namespace
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t num_nodes = graph.num_nodes();
+  const std::uint64_t num_edges = graph.num_edges();
+  bool ok = WriteAll(file, &magic, sizeof(magic)) &&
+            WriteAll(file, &num_nodes, sizeof(num_nodes)) &&
+            WriteAll(file, &num_edges, sizeof(num_edges));
+  // Out-adjacency, node by node: degree-prefixed neighbour runs keep the
+  // writer independent of Graph's internal layout.
+  for (NodeId u = 0; ok && u < graph.num_nodes(); ++u) {
+    const auto neighbors = graph.OutNeighbors(u);
+    const std::uint32_t degree = static_cast<std::uint32_t>(neighbors.size());
+    ok = WriteAll(file, &degree, sizeof(degree)) &&
+         (neighbors.empty() ||
+          WriteAll(file, neighbors.data(), neighbors.size() * sizeof(NodeId)));
+  }
+  std::fclose(file);
+  if (!ok) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Graph> LoadBinary(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open binary graph: " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  if (!ReadAll(file, &magic, sizeof(magic)) ||
+      !ReadAll(file, &num_nodes, sizeof(num_nodes)) ||
+      !ReadAll(file, &num_edges, sizeof(num_edges))) {
+    std::fclose(file);
+    return Status::InvalidArgument("truncated header: " + path);
+  }
+  if (magic != kBinaryMagic) {
+    std::fclose(file);
+    return Status::InvalidArgument("bad magic (not a resacc graph): " + path);
+  }
+  if (num_nodes >= kInvalidNode) {
+    std::fclose(file);
+    return Status::OutOfRange("node count too large: " + path);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(num_nodes));
+  builder.Reserve(num_edges);
+  std::vector<NodeId> neighbors;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    std::uint32_t degree = 0;
+    if (!ReadAll(file, &degree, sizeof(degree)) || degree > num_edges) {
+      std::fclose(file);
+      return Status::InvalidArgument("truncated adjacency: " + path);
+    }
+    neighbors.resize(degree);
+    if (degree > 0 &&
+        !ReadAll(file, neighbors.data(), degree * sizeof(NodeId))) {
+      std::fclose(file);
+      return Status::InvalidArgument("truncated adjacency: " + path);
+    }
+    for (NodeId v : neighbors) {
+      if (v >= num_nodes) {
+        std::fclose(file);
+        return Status::OutOfRange("edge target out of range: " + path);
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  std::fclose(file);
+  return std::move(builder).Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  std::fprintf(file, "# resacc edge list: %u nodes, %llu edges\n",
+               graph.num_nodes(),
+               static_cast<unsigned long long>(graph.num_edges()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      std::fprintf(file, "%u\t%u\n", u, v);
+    }
+  }
+  std::fclose(file);
+  return Status::Ok();
+}
+
+}  // namespace resacc

@@ -1,0 +1,82 @@
+#include "resacc/graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "resacc/graph/components.h"
+
+namespace resacc {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (graph.num_nodes() == 0) return stats;
+
+  stats.avg_out_degree = static_cast<double>(graph.num_edges()) /
+                         static_cast<double>(graph.num_nodes());
+
+  std::vector<NodeId> out_degrees(graph.num_nodes());
+  stats.is_symmetric = true;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out_degrees[v] = graph.OutDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+    if (graph.OutDegree(v) == 0) ++stats.num_sinks;
+    if (graph.InDegree(v) == 0) ++stats.num_sources;
+    if (stats.is_symmetric) {
+      for (NodeId w : graph.OutNeighbors(v)) {
+        if (!graph.HasEdge(w, v)) {
+          stats.is_symmetric = false;
+          break;
+        }
+      }
+    }
+  }
+
+  std::sort(out_degrees.begin(), out_degrees.end(),
+            std::greater<NodeId>());
+  const std::size_t top = std::max<std::size_t>(1, out_degrees.size() / 100);
+  EdgeId top_mass = 0;
+  for (std::size_t i = 0; i < top; ++i) top_mass += out_degrees[i];
+  stats.top1pct_degree_share =
+      graph.num_edges() > 0
+          ? static_cast<double>(top_mass) /
+                static_cast<double>(graph.num_edges())
+          : 0.0;
+
+  const ComponentDecomposition wcc = WeaklyConnectedComponents(graph);
+  stats.largest_wcc = wcc.sizes[wcc.LargestComponent()];
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "nodes=%u edges=%llu avg_out_deg=%.2f max_out=%u max_in=%u "
+      "sinks=%zu sources=%zu symmetric=%s largest_wcc=%zu "
+      "top1%%_degree_share=%.1f%%",
+      num_nodes, static_cast<unsigned long long>(num_edges), avg_out_degree,
+      max_out_degree, max_in_degree, num_sinks, num_sources,
+      is_symmetric ? "yes" : "no", largest_wcc,
+      top1pct_degree_share * 100.0);
+  return buf;
+}
+
+std::vector<std::size_t> DegreeHistogramLog2(const Graph& graph) {
+  std::vector<std::size_t> histogram;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    NodeId degree = graph.OutDegree(v);
+    std::size_t bucket = 0;
+    while (degree > 1) {
+      degree >>= 1;
+      ++bucket;
+    }
+    if (bucket >= histogram.size()) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+}  // namespace resacc

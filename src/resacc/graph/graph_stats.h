@@ -1,0 +1,40 @@
+#ifndef RESACC_GRAPH_GRAPH_STATS_H_
+#define RESACC_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+
+namespace resacc {
+
+// Descriptive statistics of a graph, for dataset validation (the stand-ins
+// must match the paper's density/skew shape) and the CLI `stats` command.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_out_degree = 0.0;
+  NodeId max_out_degree = 0;
+  NodeId max_in_degree = 0;
+  std::size_t num_sinks = 0;     // d_out = 0
+  std::size_t num_sources = 0;   // d_in = 0
+  bool is_symmetric = false;     // every edge has its reverse
+  std::size_t largest_wcc = 0;   // size of the largest weakly connected comp
+
+  // Degree-distribution tail: fraction of out-degree mass held by the top
+  // 1% highest-degree nodes (power-law graphs concentrate heavily here).
+  double top1pct_degree_share = 0.0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+// Out-degree histogram in log2 buckets: bucket i counts nodes with
+// out-degree in [2^i, 2^(i+1)); bucket 0 also counts degree 0 and 1.
+std::vector<std::size_t> DegreeHistogramLog2(const Graph& graph);
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,51 @@
+#include "resacc/graph/hop_layers.h"
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+std::size_t HopLayers::HopSetSize(std::uint32_t h) const {
+  RESACC_CHECK(h < layers.size());
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i <= h; ++i) total += layers[i].size();
+  return total;
+}
+
+HopLayers ComputeHopLayers(const Graph& graph,
+                           const std::vector<NodeId>& sources,
+                           std::uint32_t max_hop) {
+  HopLayers result;
+  result.layers.resize(max_hop + 1);
+  result.distance.assign(graph.num_nodes(), HopLayers::kUnreached);
+
+  for (NodeId s : sources) {
+    RESACC_CHECK(s < graph.num_nodes());
+    if (result.distance[s] == HopLayers::kUnreached) {
+      result.distance[s] = 0;
+      result.layers[0].push_back(s);
+    }
+  }
+
+  // Level-synchronous BFS: expand layer d into layer d+1.
+  for (std::uint32_t d = 0; d < max_hop; ++d) {
+    const std::vector<NodeId>& frontier = result.layers[d];
+    if (frontier.empty()) break;
+    std::vector<NodeId>& next = result.layers[d + 1];
+    for (NodeId u : frontier) {
+      for (NodeId v : graph.OutNeighbors(u)) {
+        if (result.distance[v] == HopLayers::kUnreached) {
+          result.distance[v] = d + 1;
+          next.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+HopLayers ComputeHopLayers(const Graph& graph, NodeId source,
+                           std::uint32_t max_hop) {
+  return ComputeHopLayers(graph, std::vector<NodeId>{source}, max_hop);
+}
+
+}  // namespace resacc

@@ -1,0 +1,47 @@
+#ifndef RESACC_GRAPH_HOP_LAYERS_H_
+#define RESACC_GRAPH_HOP_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Hop-layer decomposition around a source set (Definitions 2-4 of the
+// paper): layer i holds the nodes whose shortest out-edge distance from the
+// nearest source is exactly i. Built by BFS truncated at `max_hop`.
+//
+// For ResAcc's h-HopFWD, `max_hop = h + 1`: layers[0..h] form the h-hop set
+// V_h-hop(s) and layers[h+1] is the accumulation frontier L_(h+1)-hop(s).
+struct HopLayers {
+  // layers[i] = L_i-hop(sources); size max_hop + 1 (trailing layers may be
+  // empty if BFS exhausts the reachable set early).
+  std::vector<std::vector<NodeId>> layers;
+
+  // distance[v] = hop distance, or kUnreached for nodes beyond max_hop
+  // (or unreachable).
+  static constexpr std::uint32_t kUnreached = 0xffffffffu;
+  std::vector<std::uint32_t> distance;
+
+  // Number of nodes with distance <= h (the h-hop set size), h < layers.size().
+  std::size_t HopSetSize(std::uint32_t h) const;
+
+  bool InHopSet(NodeId v, std::uint32_t h) const {
+    return distance[v] <= h;
+  }
+};
+
+// Multi-source BFS over out-edges, truncated at max_hop.
+HopLayers ComputeHopLayers(const Graph& graph,
+                           const std::vector<NodeId>& sources,
+                           std::uint32_t max_hop);
+
+// Convenience overload for a single source.
+HopLayers ComputeHopLayers(const Graph& graph, NodeId source,
+                           std::uint32_t max_hop);
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_HOP_LAYERS_H_

@@ -1,0 +1,120 @@
+#include "resacc/la/dense_matrix.h"
+
+#include <cmath>
+#include <utility>
+
+namespace resacc {
+
+DenseMatrix DenseMatrix::Identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> DenseMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  RESACC_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = RowData(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  RESACC_CHECK(cols_ == other.rows());
+  DenseMatrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      const double* other_row = other.RowData(k);
+      double* out_row = out.RowData(i);
+      for (std::size_t j = 0; j < other.cols(); ++j) {
+        out_row[j] += a * other_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+LuDecomposition::LuDecomposition(DenseMatrix matrix) : lu_(std::move(matrix)) {
+  RESACC_CHECK(lu_.rows() == lu_.cols());
+  const std::size_t n = lu_.rows();
+  pivot_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pivot_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the diagonal.
+    std::size_t best = k;
+    double best_abs = std::fabs(lu_.At(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double a = std::fabs(lu_.At(r, k));
+      if (a > best_abs) {
+        best = r;
+        best_abs = a;
+      }
+    }
+    if (best_abs < 1e-300) return;  // singular; ok_ stays false
+    if (best != k) {
+      std::swap(pivot_[k], pivot_[best]);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_.At(k, c), lu_.At(best, c));
+      }
+    }
+    const double diag = lu_.At(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.At(r, k) / diag;
+      lu_.At(r, k) = factor;
+      if (factor == 0.0) continue;
+      const double* row_k = lu_.RowData(k);
+      double* row_r = lu_.RowData(r);
+      for (std::size_t c = k + 1; c < n; ++c) row_r[c] -= factor * row_k[c];
+    }
+  }
+  ok_ = true;
+}
+
+std::vector<double> LuDecomposition::Solve(const std::vector<double>& b) const {
+  RESACC_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  RESACC_CHECK(b.size() == n);
+
+  // Forward substitution on the permuted RHS (L has unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[pivot_[i]];
+    const double* row = lu_.RowData(i);
+    for (std::size_t j = 0; j < i; ++j) sum -= row[j] * y[j];
+    y[i] = sum;
+  }
+  // Back substitution with U.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    const double* row = lu_.RowData(i);
+    for (std::size_t j = i + 1; j < n; ++j) sum -= row[j] * x[j];
+    x[i] = sum / row[i];
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::Inverse() const {
+  RESACC_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  DenseMatrix inverse(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    unit[c] = 1.0;
+    const std::vector<double> column = Solve(unit);
+    unit[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) inverse.At(r, c) = column[r];
+  }
+  return inverse;
+}
+
+}  // namespace resacc

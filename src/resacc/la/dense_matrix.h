@@ -1,0 +1,73 @@
+#ifndef RESACC_LA_DENSE_MATRIX_H_
+#define RESACC_LA_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+// Row-major dense matrix. Substrate for the exact `Inverse` baseline
+// (Section VI, matrix-based) and for BePI's hub-hub Schur complement.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) {
+    RESACC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(std::size_t r, std::size_t c) const {
+    RESACC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* RowData(std::size_t r) const { return &data_[r * cols_]; }
+  double* RowData(std::size_t r) { return &data_[r * cols_]; }
+
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  std::size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// LU decomposition with partial pivoting (Doolittle). Factor once, solve
+// many right-hand sides — exactly the shape of BePI's query phase.
+class LuDecomposition {
+ public:
+  // Fails (ok()==false) on numerically singular input.
+  explicit LuDecomposition(DenseMatrix matrix);
+
+  bool ok() const { return ok_; }
+
+  // Solves A x = b for the factored A. Requires ok().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  // Full inverse; O(n^3). Requires ok().
+  DenseMatrix Inverse() const;
+
+  std::size_t MemoryBytes() const { return lu_.MemoryBytes(); }
+
+ private:
+  DenseMatrix lu_;                  // combined L (unit diag) and U factors
+  std::vector<std::size_t> pivot_;  // row permutation
+  bool ok_ = false;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_LA_DENSE_MATRIX_H_

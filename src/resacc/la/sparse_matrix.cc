@@ -1,0 +1,130 @@
+#include "resacc/la/sparse_matrix.h"
+
+#include <utility>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<std::size_t> offsets,
+                           std::vector<NodeId> columns,
+                           std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      offsets_(std::move(offsets)),
+      columns_(std::move(columns)),
+      values_(std::move(values)) {
+  RESACC_CHECK(offsets_.size() == rows_ + 1);
+  RESACC_CHECK(offsets_.back() == columns_.size());
+  RESACC_CHECK(columns_.size() == values_.size());
+}
+
+std::vector<double> SparseMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  MultiplyVectorAccumulate(x, 1.0, y);
+  return y;
+}
+
+void SparseMatrix::MultiplyVectorAccumulate(const std::vector<double>& x,
+                                            double scale,
+                                            std::vector<double>& y) const {
+  RESACC_CHECK(x.size() == cols_);
+  RESACC_CHECK(y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t idx = offsets_[r]; idx < offsets_[r + 1]; ++idx) {
+      sum += values_[idx] * x[columns_[idx]];
+    }
+    y[r] += scale * sum;
+  }
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<std::size_t> t_offsets(cols_ + 1, 0);
+  for (NodeId c : columns_) ++t_offsets[c + 1];
+  for (std::size_t i = 0; i < cols_; ++i) t_offsets[i + 1] += t_offsets[i];
+
+  std::vector<NodeId> t_columns(nnz());
+  std::vector<double> t_values(nnz());
+  std::vector<std::size_t> cursor(t_offsets.begin(), t_offsets.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t idx = offsets_[r]; idx < offsets_[r + 1]; ++idx) {
+      const std::size_t pos = cursor[columns_[idx]]++;
+      t_columns[pos] = static_cast<NodeId>(r);
+      t_values[pos] = values_[idx];
+    }
+  }
+  return SparseMatrix(cols_, rows_, std::move(t_offsets), std::move(t_columns),
+                      std::move(t_values));
+}
+
+SparseMatrix SparseMatrix::SubBlock(
+    const std::vector<NodeId>& row_set,
+    const std::vector<NodeId>& index_of_col) const {
+  std::vector<std::size_t> b_offsets(row_set.size() + 1, 0);
+  std::vector<NodeId> b_columns;
+  std::vector<double> b_values;
+
+  std::size_t new_cols = 0;
+  for (NodeId mapped : index_of_col) {
+    if (mapped != kInvalidNode) ++new_cols;
+  }
+
+  for (std::size_t i = 0; i < row_set.size(); ++i) {
+    const NodeId r = row_set[i];
+    RESACC_CHECK(r < rows_);
+    for (std::size_t idx = offsets_[r]; idx < offsets_[r + 1]; ++idx) {
+      const NodeId mapped = index_of_col[columns_[idx]];
+      if (mapped == kInvalidNode) continue;
+      b_columns.push_back(mapped);
+      b_values.push_back(values_[idx]);
+    }
+    b_offsets[i + 1] = b_columns.size();
+  }
+  return SparseMatrix(row_set.size(), new_cols, std::move(b_offsets),
+                      std::move(b_columns), std::move(b_values));
+}
+
+SparseMatrix TransitionMatrix(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<NodeId> columns;
+  std::vector<double> values;
+  columns.reserve(graph.num_edges());
+  values.reserve(graph.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neighbors = graph.OutNeighbors(u);
+    const double inv_degree =
+        neighbors.empty() ? 0.0 : 1.0 / static_cast<double>(neighbors.size());
+    for (NodeId v : neighbors) {
+      columns.push_back(v);
+      values.push_back(inv_degree);
+    }
+    offsets[u + 1] = columns.size();
+  }
+  return SparseMatrix(n, n, std::move(offsets), std::move(columns),
+                      std::move(values));
+}
+
+SparseMatrix TransitionMatrixTranspose(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<NodeId> columns;
+  std::vector<double> values;
+  columns.reserve(graph.num_edges());
+  values.reserve(graph.num_edges());
+  // Row v of P^T lists v's in-neighbours u with weight 1/d_out(u).
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : graph.InNeighbors(v)) {
+      columns.push_back(u);
+      values.push_back(1.0 / static_cast<double>(graph.OutDegree(u)));
+    }
+    offsets[v + 1] = columns.size();
+  }
+  return SparseMatrix(n, n, std::move(offsets), std::move(columns),
+                      std::move(values));
+}
+
+}  // namespace resacc

@@ -1,0 +1,71 @@
+#ifndef RESACC_LA_SPARSE_MATRIX_H_
+#define RESACC_LA_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// CSR sparse matrix over doubles. Substrate for the matrix-form baselines
+// (Power, TPA, BePI): y = A x, transposes, and sub-block extraction.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<std::size_t> offsets, std::vector<NodeId> columns,
+               std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return columns_.size(); }
+
+  // y = A x
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  // y += scale * A x  (no allocation; y must have size rows()).
+  void MultiplyVectorAccumulate(const std::vector<double>& x, double scale,
+                                std::vector<double>& y) const;
+
+  SparseMatrix Transpose() const;
+
+  // Extracts the sub-block A[row_set, col_set] with renumbered indices.
+  // index_of[v] must give v's position in the corresponding set, or
+  // kInvalidNode when absent.
+  SparseMatrix SubBlock(const std::vector<NodeId>& row_set,
+                        const std::vector<NodeId>& index_of_col) const;
+
+  std::size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(std::size_t) +
+           columns_.size() * sizeof(NodeId) + values_.size() * sizeof(double);
+  }
+
+  // Row access for factorization-style algorithms.
+  std::size_t RowBegin(std::size_t r) const { return offsets_[r]; }
+  std::size_t RowEnd(std::size_t r) const { return offsets_[r + 1]; }
+  NodeId ColumnAt(std::size_t idx) const { return columns_[idx]; }
+  double ValueAt(std::size_t idx) const { return values_[idx]; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> columns_;
+  std::vector<double> values_;
+};
+
+// Row-stochastic-by-out-degree random-walk transition matrix P of the graph:
+// P[u][v] = 1/d_out(u) for each edge (u,v). Dangling rows (d_out = 0) are
+// left all-zero here; the RWR solvers apply the configured dangling policy
+// explicitly so it stays consistent with the push/walk engines.
+SparseMatrix TransitionMatrix(const Graph& graph);
+
+// P^T directly (avoids materializing P first): column-stochastic form used
+// by power iteration pi = alpha e_s + (1-alpha) P^T pi.
+SparseMatrix TransitionMatrixTranspose(const Graph& graph);
+
+}  // namespace resacc
+
+#endif  // RESACC_LA_SPARSE_MATRIX_H_

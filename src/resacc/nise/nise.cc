@@ -1,0 +1,201 @@
+#include "resacc/nise/nise.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "resacc/util/check.h"
+#include "resacc/core/seed_set_query.h"
+#include "resacc/graph/components.h"
+#include "resacc/util/timer.h"
+#include "resacc/util/top_k.h"
+
+namespace resacc {
+
+Nise::Nise(const Graph& graph, const NiseOptions& options)
+    : graph_(graph), options_(options) {
+  RESACC_CHECK(options_.num_communities >= 1);
+}
+
+std::vector<NodeId> Nise::SelectSeeds() const {
+  // Filtering phase: seeds come from the largest weakly connected
+  // component (expansion across tiny satellite components wastes queries).
+  std::vector<char> eligible(graph_.num_nodes(), 1);
+  if (options_.filter_to_largest_component) {
+    const ComponentDecomposition wcc = WeaklyConnectedComponents(graph_);
+    const std::uint32_t giant = wcc.LargestComponent();
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      eligible[v] = wcc.component_of[v] == giant ? 1 : 0;
+    }
+  }
+
+  // Spread hubs: highest-degree nodes whose neighbourhoods do not overlap
+  // previously chosen seeds — NISE's recommended seeding strategy.
+  std::vector<NodeId> by_degree = graph_.NodesByOutDegreeDesc();
+  std::vector<char> covered(graph_.num_nodes(), 0);
+  std::vector<NodeId> seeds;
+  for (NodeId v : by_degree) {
+    if (seeds.size() >= options_.num_communities) break;
+    if (!eligible[v] || covered[v] || graph_.OutDegree(v) == 0) continue;
+    seeds.push_back(v);
+    covered[v] = 1;
+    for (NodeId u : graph_.OutNeighbors(v)) covered[u] = 1;
+  }
+  return seeds;
+}
+
+void Nise::Propagate(std::vector<std::vector<NodeId>>& communities) const {
+  // community_of holds one covering community per node (the first that
+  // claimed it); uncovered nodes join the community holding the plurality
+  // of their neighbours, repeated until no reachable node is uncovered.
+  constexpr std::uint32_t kUncovered = 0xffffffffu;
+  std::vector<std::uint32_t> covered_by(graph_.num_nodes(), kUncovered);
+  for (std::uint32_t c = 0; c < communities.size(); ++c) {
+    for (NodeId v : communities[c]) {
+      if (covered_by[v] == kUncovered) covered_by[v] = c;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (covered_by[v] != kUncovered) continue;
+      // Plurality vote among covered out-neighbours.
+      std::uint32_t best = kUncovered;
+      std::size_t best_votes = 0;
+      for (NodeId u : graph_.OutNeighbors(v)) {
+        const std::uint32_t c = covered_by[u];
+        if (c == kUncovered) continue;
+        std::size_t votes = 0;
+        for (NodeId w : graph_.OutNeighbors(v)) {
+          votes += covered_by[w] == c ? 1 : 0;
+        }
+        if (votes > best_votes) {
+          best_votes = votes;
+          best = c;
+        }
+      }
+      if (best != kUncovered) {
+        covered_by[v] = best;
+        communities[best].push_back(v);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Nise::SweepCut(const std::vector<NodeId>& ordered) const {
+  RESACC_CHECK(!ordered.empty());
+  const double total_volume = static_cast<double>(graph_.num_edges());
+
+  std::vector<char> in_set(graph_.num_nodes(), 0);
+  double volume = 0.0;
+  double cut = 0.0;
+  double best_conductance = 2.0;
+  std::size_t best_prefix = 1;
+
+  const std::size_t limit =
+      options_.max_sweep_length > 0
+          ? std::min(ordered.size(), options_.max_sweep_length)
+          : ordered.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const NodeId u = ordered[i];
+    // Adding u: its degree joins the volume; edges to existing members
+    // stop being cut edges (counted once per direction in a symmetric
+    // graph, hence the factor 2).
+    std::size_t internal = 0;
+    for (NodeId v : graph_.OutNeighbors(u)) internal += in_set[v] ? 1 : 0;
+    in_set[u] = 1;
+    volume += graph_.OutDegree(u);
+    cut += static_cast<double>(graph_.OutDegree(u)) -
+           2.0 * static_cast<double>(internal);
+
+    const double denominator = std::min(volume, total_volume - volume + cut);
+    if (denominator <= 0.0) continue;
+    const double conductance = cut / denominator;
+    if (conductance < best_conductance) {
+      best_conductance = conductance;
+      best_prefix = i + 1;
+    }
+  }
+  return {ordered.begin(), ordered.begin() + static_cast<long>(best_prefix)};
+}
+
+NiseResult Nise::Detect(SsrwrAlgorithm& solver) const {
+  NiseResult result;
+  Timer total;
+  const std::vector<NodeId> seeds = SelectSeeds();
+
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> ordered;
+    if (options_.use_ssrwr_ordering) {
+      Timer ssrwr;
+      const std::vector<Score> scores = solver.Query(seed);
+      result.ssrwr_seconds += ssrwr.ElapsedSeconds();
+      // Candidates: positively scored nodes, best first.
+      std::size_t positive = 0;
+      for (Score s : scores) positive += s > 0.0 ? 1 : 0;
+      const std::size_t want =
+          options_.max_sweep_length > 0
+              ? std::min(positive, options_.max_sweep_length)
+              : positive;
+      ordered = TopKIndices(scores, want);
+    } else {
+      // NISE-without-SSRWR: BFS-distance ordering from the seed.
+      std::deque<NodeId> queue{seed};
+      std::vector<char> visited(graph_.num_nodes(), 0);
+      visited[seed] = 1;
+      const std::size_t cap = options_.max_sweep_length > 0
+                                  ? options_.max_sweep_length
+                                  : graph_.num_nodes();
+      while (!queue.empty() && ordered.size() < cap) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        ordered.push_back(u);
+        for (NodeId v : graph_.OutNeighbors(u)) {
+          if (!visited[v]) {
+            visited[v] = 1;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+    if (ordered.empty()) continue;
+    result.communities.push_back(SweepCut(ordered));
+  }
+  if (options_.propagate_uncovered) Propagate(result.communities);
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+NiseResult Nise::DetectInflated(const RwrConfig& config) const {
+  NiseResult result;
+  Timer total;
+  Rng rng(config.seed ^ 0x1f1a);
+
+  for (NodeId seed : SelectSeeds()) {
+    // Inflate: the seed plus its out-neighbourhood.
+    std::vector<NodeId> seed_set{seed};
+    for (NodeId v : graph_.OutNeighbors(seed)) seed_set.push_back(v);
+
+    Timer ssrwr;
+    const SeedSetQueryResult query =
+        SeedSetSsrwr(graph_, config, seed_set, /*r_max=*/0.0, rng);
+    result.ssrwr_seconds += ssrwr.ElapsedSeconds();
+
+    std::size_t positive = 0;
+    for (Score s : query.scores) positive += s > 0.0 ? 1 : 0;
+    const std::size_t want =
+        options_.max_sweep_length > 0
+            ? std::min(positive, options_.max_sweep_length)
+            : positive;
+    const std::vector<NodeId> ordered = TopKIndices(query.scores, want);
+    if (ordered.empty()) continue;
+    result.communities.push_back(SweepCut(ordered));
+  }
+  if (options_.propagate_uncovered) Propagate(result.communities);
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace resacc

@@ -1,0 +1,48 @@
+#include "resacc/util/alias_table.h"
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  RESACC_CHECK(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RESACC_CHECK(w >= 0.0);
+    total += w;
+  }
+  RESACC_CHECK(total > 0.0);
+
+  probability_.assign(n, 1.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights sum to n; "small" buckets (< 1) are topped up by "large"
+  // ones, the standard two-stack construction.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding; their alias is never taken.
+  for (std::size_t i : small) probability_[i] = 1.0;
+  for (std::size_t i : large) probability_[i] = 1.0;
+}
+
+}  // namespace resacc

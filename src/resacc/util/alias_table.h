@@ -1,0 +1,33 @@
+#ifndef RESACC_UTIL_ALIAS_TABLE_H_
+#define RESACC_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "resacc/util/rng.h"
+
+namespace resacc {
+
+// Walker's alias method: O(n) construction, O(1) sampling from a discrete
+// distribution. Used by the Chung-Lu graph generator (endpoint sampling
+// proportional to target degrees) and by TPA's PageRank-weighted tail.
+class AliasTable {
+ public:
+  // `weights` must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::size_t size() const { return probability_.size(); }
+
+  std::size_t Sample(Rng& rng) const {
+    const std::size_t slot = rng.NextBounded(probability_.size());
+    return rng.NextDouble() < probability_[slot] ? slot : alias_[slot];
+  }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_ALIAS_TABLE_H_

@@ -1,0 +1,93 @@
+#include "resacc/util/args.h"
+
+#include <cstdlib>
+
+namespace resacc {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_.push_back({body.substr(0, eq), body.substr(eq + 1), true});
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      options_.push_back({body, argv[i + 1], true});
+      ++i;
+    } else {
+      options_.push_back({body, "", false});
+    }
+  }
+}
+
+const ArgParser::Option* ArgParser::Find(const std::string& name) const {
+  for (const Option& option : options_) {
+    if (option.name == name) {
+      option.used = true;
+      return &option;
+    }
+  }
+  return nullptr;
+}
+
+bool ArgParser::HasFlag(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& default_value) const {
+  const Option* option = Find(name);
+  return (option != nullptr && option->has_value) ? option->value
+                                                  : default_value;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t default_value) const {
+  const Option* option = Find(name);
+  if (option == nullptr || !option->has_value) return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(option->value.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+double ArgParser::GetDouble(const std::string& name,
+                            double default_value) const {
+  const Option* option = Find(name);
+  if (option == nullptr || !option->has_value) return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(option->value.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+std::vector<std::int64_t> ArgParser::GetIntList(
+    const std::string& name) const {
+  std::vector<std::int64_t> values;
+  const Option* option = Find(name);
+  if (option == nullptr || !option->has_value) return values;
+  std::size_t start = 0;
+  const std::string& text = option->value;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!token.empty()) values.push_back(std::strtoll(token.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+std::vector<std::string> ArgParser::UnusedOptions() const {
+  std::vector<std::string> unused;
+  for (const Option& option : options_) {
+    if (!option.used) unused.push_back(option.name);
+  }
+  return unused;
+}
+
+}  // namespace resacc

@@ -1,0 +1,48 @@
+#ifndef RESACC_UTIL_ARGS_H_
+#define RESACC_UTIL_ARGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resacc {
+
+// Tiny command-line parser for the CLI tool: positionals plus
+// `--key=value` / `--key value` / boolean `--flag` options. No external
+// dependencies, no global state.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  // Positional arguments (argv[0] excluded), in order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool HasFlag(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+
+  // Comma-separated integer list, e.g. --sources=1,2,3.
+  std::vector<std::int64_t> GetIntList(const std::string& name) const;
+
+  // Options that were passed but never read — for typo detection.
+  std::vector<std::string> UnusedOptions() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value;
+    bool has_value;
+    mutable bool used = false;
+  };
+  const Option* Find(const std::string& name) const;
+
+  std::vector<std::string> positionals_;
+  std::vector<Option> options_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_ARGS_H_

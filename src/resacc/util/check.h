@@ -1,0 +1,39 @@
+#ifndef RESACC_UTIL_CHECK_H_
+#define RESACC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These fire in all build types: the algorithms
+// in this library are cheap relative to a silent correctness bug in a
+// probability computation, and the checks sit outside hot inner loops.
+//
+// Use RESACC_DCHECK for hot-loop assertions compiled out of release builds.
+
+#define RESACC_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RESACC_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RESACC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RESACC_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define RESACC_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define RESACC_DCHECK(cond) RESACC_CHECK(cond)
+#endif
+
+#endif  // RESACC_UTIL_CHECK_H_

@@ -1,0 +1,28 @@
+#include "resacc/util/env.h"
+
+#include <cstdlib>
+
+namespace resacc {
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+std::int64_t GetEnvInt(const char* name, std::int64_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : default_value;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* env = std::getenv(name);
+  return (env != nullptr && *env != '\0') ? std::string(env) : default_value;
+}
+
+}  // namespace resacc

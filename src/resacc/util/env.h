@@ -1,0 +1,21 @@
+#ifndef RESACC_UTIL_ENV_H_
+#define RESACC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace resacc {
+
+// Environment-variable knobs for the bench harness (so `bench/*` binaries
+// stay fast by default but can be scaled up without a rebuild):
+//   RESACC_SCALE    multiplies synthetic dataset sizes (default 1.0)
+//   RESACC_SOURCES  number of query sources per experiment
+//   RESACC_SEED     master seed for everything
+
+double GetEnvDouble(const char* name, double default_value);
+std::int64_t GetEnvInt(const char* name, std::int64_t default_value);
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_ENV_H_

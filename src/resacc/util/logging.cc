@@ -1,0 +1,68 @@
+#include "resacc/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace resacc {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("RESACC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load()); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+  localtime_r(&now, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "%s %s %s\n", LevelTag(level_), ts,
+               stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace resacc

@@ -1,0 +1,45 @@
+#ifndef RESACC_UTIL_LOGGING_H_
+#define RESACC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace resacc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default kInfo;
+// RESACC_LOG_LEVEL=debug|info|warning|error overrides at process start.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Streams a single log record and emits it (with timestamp and level tag)
+// to stderr on destruction. Used via the RESACC_LOG macro only.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace resacc
+
+#define RESACC_LOG(level)                                               \
+  if (::resacc::LogLevel::k##level < ::resacc::GetLogLevel()) {         \
+  } else                                                                \
+    ::resacc::internal_logging::LogMessage(::resacc::LogLevel::k##level, \
+                                           __FILE__, __LINE__)          \
+        .stream()
+
+#endif  // RESACC_UTIL_LOGGING_H_

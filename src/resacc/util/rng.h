@@ -1,0 +1,91 @@
+#ifndef RESACC_UTIL_RNG_H_
+#define RESACC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+// SplitMix64: used to expand a single seed into xoshiro state and to derive
+// independent per-query substreams deterministically.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ (Blackman & Vigna). Chosen over std::mt19937_64 because the
+// random-walk engines draw billions of variates in the remedy phase and
+// xoshiro is several times faster with excellent statistical quality.
+// Header-only so the per-step draw inlines into the walk loop.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Derives an independent generator for substream `stream`; used to make
+  // per-source results independent of query order.
+  Rng Fork(std::uint64_t stream) const {
+    std::uint64_t mix = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                        (state_[3] + stream);
+    return Rng(mix);
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1) with 53 random mantissa bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift rejection method:
+  // unbiased and avoids the modulo in the hot path.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    RESACC_DCHECK(bound > 0);
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(product);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<std::uint64_t>(product);
+      }
+    }
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  std::uint32_t NextBounded32(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(NextBounded(bound));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_RNG_H_

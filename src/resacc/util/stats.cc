@@ -1,0 +1,49 @@
+#include "resacc/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  RESACC_CHECK(!sorted.empty());
+  RESACC_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleSummary Summarize(std::vector<double> values) {
+  SampleSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = QuantileSorted(values, 0.25);
+  s.median = QuantileSorted(values, 0.50);
+  s.q3 = QuantileSorted(values, 0.75);
+  RunningStat rs;
+  for (double v : values) rs.Add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  return s;
+}
+
+std::string SampleSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.4g/%.4g/%.4g/%.4g/%.4g mean=%.4g sd=%.4g", min, q1, median,
+                q3, max, mean, stddev);
+  return buf;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace resacc

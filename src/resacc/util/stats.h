@@ -1,0 +1,60 @@
+#ifndef RESACC_UTIL_STATS_H_
+#define RESACC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace resacc {
+
+// Five-number summary plus mean/stddev over a sample, matching the paper's
+// "boxplot" (min, Q1, median, Q3, max — Figs. 7-8) and "error-bar"
+// (mean +/- stddev — Figs. 9-10) visualizations.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+
+  // One-line "min/Q1/med/Q3/max mean+/-sd" rendering for bench tables.
+  std::string ToString() const;
+};
+
+// Computes the summary; quantiles use linear interpolation between order
+// statistics (type-7, the numpy/R default). Empty input yields all zeros.
+SampleSummary Summarize(std::vector<double> values);
+
+// Quantile q in [0,1] of `sorted` (must be ascending, non-empty).
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+// Streaming mean/variance (Welford). Used where materializing the sample
+// would be wasteful, e.g. per-walk statistics.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_STATS_H_

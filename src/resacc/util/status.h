@@ -1,0 +1,104 @@
+#ifndef RESACC_UTIL_STATUS_H_
+#define RESACC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+// Error codes for fallible public APIs (file IO, configuration validation,
+// index construction under a memory budget). The library does not use
+// exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,  // e.g. index exceeds the configured memory budget
+  kFailedPrecondition,
+  kInternal,
+};
+
+// A success-or-error result, modelled after absl::Status but minimal.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error. `value()` aborts if the status is not OK; check `ok()`
+// (or use `status()`) first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    RESACC_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RESACC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    RESACC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    RESACC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK status to the caller.
+#define RESACC_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::resacc::Status _resacc_status = (expr);     \
+    if (!_resacc_status.ok()) return _resacc_status; \
+  } while (0)
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_STATUS_H_

@@ -1,0 +1,92 @@
+#include "resacc/util/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RESACC_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  RESACC_CHECK_MSG(cells.size() == header_.size(),
+                   "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  };
+
+  std::string out;
+  append_row(out, header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : 0, '-');
+  out += "\n";
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  const double mag = std::fabs(value);
+  if (value != 0.0 && (mag < 1e-3 || mag >= 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision - 1, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision + 2, value);
+  }
+  return buf;
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string FmtBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace resacc

@@ -1,0 +1,41 @@
+#ifndef RESACC_UTIL_TABLE_H_
+#define RESACC_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace resacc {
+
+// Fixed-width text table used by every bench binary to print the paper's
+// tables/figure series in a uniform, diff-friendly format.
+//
+//   TextTable t({"Dataset", "FORA", "ResAcc"});
+//   t.AddRow({"dblp-sim", Fmt(1.09), Fmt(0.51)});
+//   t.Print(stdout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::FILE* out) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double compactly: scientific for very small/large magnitudes,
+// fixed otherwise. `o.o.t.` / `o.o.m.` cells are produced by the callers.
+std::string Fmt(double value, int precision = 4);
+
+// Seconds with unit-appropriate precision (e.g. "0.513 s", "12.3 ms").
+std::string FmtSeconds(double seconds);
+
+// Bytes rendered as B / KB / MB / GB.
+std::string FmtBytes(double bytes);
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_TABLE_H_

@@ -1,0 +1,55 @@
+#ifndef RESACC_UTIL_THREAD_POOL_H_
+#define RESACC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resacc {
+
+// Minimal fixed-size thread pool. The library's algorithms are
+// single-threaded per query (as in the paper's measurements); the pool
+// exists to parallelize *across* queries — MSRWR with one solver instance
+// per worker (see core/parallel_msrwr.h) and bulk experiment pipelines.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // A sensible default: hardware concurrency, at least 1.
+  static std::size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Runs fn(i) for i in [0, count) across the pool and waits.
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#ifndef RESACC_UTIL_TIMER_H_
+#define RESACC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace resacc {
+
+// Wall-clock stopwatch. The paper reports wall-clock query seconds; every
+// bench and the per-phase breakdown (Table VII) use this.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_TIMER_H_

@@ -1,0 +1,50 @@
+#ifndef RESACC_UTIL_TOP_K_H_
+#define RESACC_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Returns the indices of the k largest entries of `scores`, ordered by
+// descending score (ties broken by ascending index so results are
+// deterministic). Used by the accuracy metrics (error of the k-th largest
+// RWR value, NDCG@k) and the top-K query surface.
+inline std::vector<NodeId> TopKIndices(const std::vector<Score>& scores,
+                                       std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<NodeId> idx(scores.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<NodeId>(i);
+  }
+  auto better = [&scores](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  if (k < idx.size()) {
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                      idx.end(), better);
+    idx.resize(k);
+  } else {
+    std::sort(idx.begin(), idx.end(), better);
+  }
+  return idx;
+}
+
+// (node, score) pairs of the k largest entries, descending.
+inline std::vector<std::pair<NodeId, Score>> TopKPairs(
+    const std::vector<Score>& scores, std::size_t k) {
+  std::vector<NodeId> idx = TopKIndices(scores, k);
+  std::vector<std::pair<NodeId, Score>> out;
+  out.reserve(idx.size());
+  for (NodeId node : idx) out.emplace_back(node, scores[node]);
+  return out;
+}
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_TOP_K_H_

@@ -1,0 +1,28 @@
+#ifndef RESACC_UTIL_TYPES_H_
+#define RESACC_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace resacc {
+
+// Node identifier. 32 bits covers every graph this library targets
+// (the paper's largest dataset, Friendster, has 65.7M nodes) while keeping
+// adjacency arrays compact, which matters for push-based traversals.
+using NodeId = std::uint32_t;
+
+// Edge index into the CSR arrays. 64 bits: edge counts exceed 2^32 on
+// billion-edge graphs.
+using EdgeId = std::uint64_t;
+
+// All probabilities / RWR scores / residues are double; the algorithms
+// multiply many (1 - alpha) factors together and float would underflow
+// meaningful residues around 1e-38 (the paper sweeps r_max^hop to 1e-14).
+using Score = double;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_TYPES_H_

@@ -1,0 +1,149 @@
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/bepi.h"
+#include "resacc/algo/inverse.h"
+#include "resacc/algo/slashburn.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig Config(DanglingPolicy policy = DanglingPolicy::kAbsorb) {
+  RwrConfig config;
+  config.alpha = 0.2;
+  config.dangling = policy;
+  return config;
+}
+
+TEST(SlashBurnTest, PartitionsAllNodes) {
+  const Graph g = ChungLuPowerLaw(500, 3000, 2.2, 3);
+  const SlashBurnResult result = RunSlashBurn(g, 10, 64);
+
+  std::unordered_set<NodeId> seen;
+  for (NodeId hub : result.hubs) EXPECT_TRUE(seen.insert(hub).second);
+  for (const auto& block : result.spokes) {
+    EXPECT_LE(block.size(), 64u);
+    for (NodeId v : block) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(SlashBurnTest, NoEdgesBetweenSpokeBlocks) {
+  const Graph g = ChungLuPowerLaw(400, 2400, 2.2, 4);
+  const SlashBurnResult result = RunSlashBurn(g, 8, 64);
+
+  std::vector<int> block_of(g.num_nodes(), -1);
+  for (std::size_t b = 0; b < result.spokes.size(); ++b) {
+    for (NodeId v : result.spokes[b]) block_of[v] = static_cast<int>(b);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (block_of[u] < 0) continue;  // hub
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (block_of[v] < 0) continue;
+      EXPECT_EQ(block_of[u], block_of[v])
+          << "edge " << u << "->" << v << " crosses spoke blocks";
+    }
+  }
+}
+
+TEST(SlashBurnTest, HubsAreHighDegree) {
+  const Graph g = ChungLuPowerLaw(500, 4000, 2.1, 5);
+  const SlashBurnResult result = RunSlashBurn(g, 5, 64);
+  ASSERT_GE(result.hubs.size(), 5u);
+  // The very first hub must be the top-degree node (undirected degree).
+  std::size_t best = 0;
+  NodeId best_node = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t degree = g.OutDegree(v) + g.InDegree(v);
+    if (degree > best) {
+      best = degree;
+      best_node = v;
+    }
+  }
+  EXPECT_EQ(result.hubs[0], best_node);
+}
+
+class BePiExactnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// BePI is a direct method: up to floating-point rounding its answers are
+// exact, so it must agree with the dense inverse tightly.
+TEST_P(BePiExactnessTest, MatchesDenseInverse) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = ChungLuPowerLaw(250, 1500, 2.2, seed);
+  const RwrConfig config = Config();
+
+  BePiOptions options;
+  options.hubs_per_iteration = 8;
+  options.max_block_size = 48;
+  BePi bepi(g, config, options);
+  ASSERT_TRUE(bepi.BuildIndex().ok());
+  EXPECT_GT(bepi.num_hubs(), 0u);
+  EXPECT_GT(bepi.num_blocks(), 0u);
+  EXPECT_GT(bepi.IndexBytes(), 0u);
+
+  ExactInverse oracle(g, config);
+  for (NodeId s : {NodeId{0}, NodeId{17}, NodeId{123}}) {
+    const std::vector<Score> expected = oracle.Query(s);
+    const std::vector<Score> actual = bepi.Query(s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_NEAR(actual[v], expected[v], 1e-9) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BePiExactnessTest,
+                         ::testing::Values(1u, 2u, 99u));
+
+TEST(BePiTest, WorksOnGraphWithSinks) {
+  const Graph g = testing::Figure1Graph();
+  const RwrConfig config = Config(DanglingPolicy::kAbsorb);
+  BePiOptions options;
+  options.hubs_per_iteration = 1;
+  options.max_block_size = 2;
+  BePi bepi(g, config, options);
+  ASSERT_TRUE(bepi.BuildIndex().ok());
+  ExactInverse oracle(g, config);
+  const std::vector<Score> expected = oracle.Query(0);
+  const std::vector<Score> actual = bepi.Query(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(actual[v], expected[v], 1e-10);
+  }
+}
+
+TEST(BePiTest, RefusesBackToSourceWithSinks) {
+  const Graph g = testing::Figure1Graph();
+  BePi bepi(g, Config(DanglingPolicy::kBackToSource), {});
+  const Status status = bepi.BuildIndex();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BePiTest, MemoryBudgetTriggersOom) {
+  const Graph g = ChungLuPowerLaw(400, 2400, 2.2, 6);
+  BePiOptions options;
+  options.memory_budget_bytes = 1024;  // way below the dense Schur factor
+  BePi bepi(g, Config(), options);
+  const Status status = bepi.BuildIndex();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(bepi.IndexReady());
+}
+
+TEST(BePiTest, NoSinksAllowsBackToSource) {
+  // On a sink-free graph the two policies coincide; BePI must accept it.
+  const Graph g = testing::CycleGraph(40);
+  BePi bepi(g, Config(DanglingPolicy::kBackToSource), {});
+  ASSERT_TRUE(bepi.BuildIndex().ok());
+  ExactInverse oracle(g, Config(DanglingPolicy::kBackToSource));
+  const std::vector<Score> expected = oracle.Query(3);
+  const std::vector<Score> actual = bepi.Query(3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(actual[v], expected[v], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace resacc

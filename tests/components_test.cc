@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "resacc/graph/components.h"
+#include "resacc/graph/generators.h"
+#include "resacc/graph/graph_stats.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+using ::resacc::testing::FromEdges;
+
+TEST(WccTest, TwoIslands) {
+  // 0-1-2 triangle and 3-4 edge, undirected.
+  const Graph g = FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}},
+                            /*symmetrize=*/true);
+  const ComponentDecomposition wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 2u);
+  EXPECT_EQ(wcc.component_of[0], wcc.component_of[2]);
+  EXPECT_EQ(wcc.component_of[3], wcc.component_of[4]);
+  EXPECT_NE(wcc.component_of[0], wcc.component_of[3]);
+  EXPECT_EQ(wcc.sizes[wcc.LargestComponent()], 3u);
+  EXPECT_EQ(wcc.NodesOf(wcc.component_of[3]), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(WccTest, DirectedEdgesCountAsUndirected) {
+  // 0 -> 1 -> 2 with no way back is still one weak component.
+  const Graph g = FromEdges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(WeaklyConnectedComponents(g).num_components, 1u);
+}
+
+TEST(WccTest, IsolatedNodesAreSingletons) {
+  const Graph g = FromEdges(4, {{0, 1}});
+  const ComponentDecomposition wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 3u);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  const Graph g = testing::CycleGraph(10);
+  const ComponentDecomposition scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.sizes[0], 10u);
+}
+
+TEST(SccTest, DagIsAllSingletons) {
+  const Graph g = FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const ComponentDecomposition scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  // Topological property: an edge never goes from an earlier-finished
+  // (lower id in reverse topological order) to later — just check each
+  // node is its own component.
+  for (std::size_t size : scc.sizes) EXPECT_EQ(size, 1u);
+}
+
+TEST(SccTest, TwoCyclesJoinedByBridge) {
+  // cycle {0,1,2} -> bridge -> cycle {3,4,5}.
+  const Graph g = FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  const ComponentDecomposition scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[5]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+}
+
+TEST(SccTest, DeepPathDoesNotOverflowStack) {
+  // 200k-node path: a recursive Tarjan would blow the stack.
+  const NodeId n = 200000;
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  const Graph g = std::move(builder).Build();
+  const ComponentDecomposition scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(SccTest, AgreesWithWccOnSymmetricGraphs) {
+  const Graph g = ChungLuPowerLaw(500, 2500, 2.2, 5, /*symmetrize=*/true);
+  const ComponentDecomposition wcc = WeaklyConnectedComponents(g);
+  const ComponentDecomposition scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, scc.num_components);
+  std::vector<std::size_t> a = wcc.sizes;
+  std::vector<std::size_t> b = scc.sizes;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  const Graph g = testing::Figure1Graph();  // v1->{v2,v3}, v2->v4, v3->v2
+  std::vector<NodeId> mapping;
+  const Graph sub = InducedSubgraph(g, {0, 1, 3}, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  // Kept: v1->v2 (0->1), v2->v4 (1->2). Dropped: edges touching v3.
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_EQ(mapping[2], kInvalidNode);
+  EXPECT_EQ(mapping[3], 2u);
+}
+
+TEST(GraphStatsTest, ComputesShape) {
+  const Graph g = testing::Figure1Graph();
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.num_sinks, 1u);    // v4
+  EXPECT_EQ(stats.num_sources, 1u);  // v1
+  EXPECT_FALSE(stats.is_symmetric);
+  EXPECT_EQ(stats.largest_wcc, 4u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphStatsTest, SymmetricDetection) {
+  const Graph g = testing::StarGraph(4);
+  EXPECT_TRUE(ComputeGraphStats(g).is_symmetric);
+}
+
+TEST(GraphStatsTest, HistogramCountsAllNodes) {
+  const Graph g = ChungLuPowerLaw(1000, 8000, 2.2, 7);
+  const auto histogram = DegreeHistogramLog2(g);
+  const std::size_t total =
+      std::accumulate(histogram.begin(), histogram.end(), std::size_t{0});
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "resacc/core/h_hop_fwd.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+TEST(RwrConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(RwrConfig{}.Validate().ok());
+  EXPECT_TRUE(RwrConfig::ForGraphSize(1000).Validate().ok());
+}
+
+TEST(RwrConfigTest, ForGraphSizeSetsPaperDefaults) {
+  const RwrConfig config = RwrConfig::ForGraphSize(1000);
+  EXPECT_DOUBLE_EQ(config.delta, 1e-3);
+  EXPECT_DOUBLE_EQ(config.p_f, 1e-3);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.2);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.5);
+}
+
+TEST(RwrConfigTest, RejectsBadParameters) {
+  RwrConfig config;
+  config.alpha = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = RwrConfig{};
+  config.alpha = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = RwrConfig{};
+  config.epsilon = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = RwrConfig{};
+  config.delta = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = RwrConfig{};
+  config.delta = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = RwrConfig{};
+  config.p_f = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(RwrConfigTest, WalkCountCoefficientMatchesTheorem3) {
+  RwrConfig config;
+  config.epsilon = 0.5;
+  config.delta = 0.01;
+  config.p_f = 0.001;
+  // c = (2*0.5/3 + 2) * ln(2000) / (0.25 * 0.01)
+  const double expected =
+      (2.0 * 0.5 / 3.0 + 2.0) * std::log(2.0 / 0.001) / (0.25 * 0.01);
+  EXPECT_NEAR(config.WalkCountCoefficient(), expected, 1e-9);
+}
+
+TEST(AdaptiveHopCapTest, ShrinksEffectiveHopsForHubs) {
+  // Star graph: the hub's 1-hop set is the whole graph.
+  const Graph g = testing::StarGraph(199);  // 200 nodes
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+
+  HHopFwdOptions options;
+  options.num_hops = 2;
+  options.max_hop_set_fraction = 0.10;  // 20 nodes max
+  PushState state(g.num_nodes());
+  HopLayers layers;
+  const HHopFwdStats stats =
+      RunHHopFwd(g, config, /*source=*/0, options, state, &layers);
+
+  // 1-hop set = 200 nodes > 20 => effective h must drop to 0.
+  EXPECT_EQ(stats.effective_hops, 0u);
+  EXPECT_EQ(stats.hop_set_size, 1u);
+  EXPECT_EQ(stats.frontier_size, 199u);  // all leaves accumulate
+  // Frontier really is layers.back().
+  EXPECT_EQ(layers.layers.back().size(), 199u);
+  EXPECT_NEAR(state.ReserveSum() + state.ResidueSum(), 1.0, 1e-12);
+}
+
+TEST(AdaptiveHopCapTest, NoEffectWhenHopSetSmall) {
+  const Graph g = testing::CycleGraph(100);
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+
+  HHopFwdOptions options;
+  options.num_hops = 2;
+  options.max_hop_set_fraction = 0.10;  // 10 nodes; 2-hop set has 3
+  PushState state(g.num_nodes());
+  HopLayers layers;
+  const HHopFwdStats stats = RunHHopFwd(g, config, 0, options, state, &layers);
+  EXPECT_EQ(stats.effective_hops, 2u);
+}
+
+TEST(AdaptiveHopCapTest, SolverGuaranteeHoldsWithCap) {
+  // A hub-heavy graph queried from its top hub, with the cap active.
+  const Graph g = ChungLuPowerLaw(1000, 12000, 2.0, 3);
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.p_f = 1e-7;
+  config.seed = 5;
+
+  const NodeId hub = g.NodesByOutDegreeDesc()[0];
+  ResAccOptions options;
+  options.max_hop_set_fraction = 0.02;
+  ResAccSolver solver(g, config, options);
+  const std::vector<Score> estimate = solver.Query(hub);
+  EXPECT_LT(solver.last_stats().hhop.effective_hops, options.num_hops);
+
+  Score total = 0.0;
+  for (Score s : estimate) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,207 @@
+// Edge cases and pathological inputs across modules: tiny graphs, extreme
+// parameters, degenerate topologies. Cheap insurance against the corners
+// the property sweeps sample past.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/fora.h"
+#include "resacc/algo/inverse.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/particle_filter.h"
+#include "resacc/algo/power.h"
+#include "resacc/algo/slashburn.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/graph/graph_builder.h"
+#include "resacc/la/dense_matrix.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig TinyConfig(NodeId n, DanglingPolicy policy) {
+  RwrConfig config = RwrConfig::ForGraphSize(n);
+  config.dangling = policy;
+  config.p_f = 1e-6;
+  return config;
+}
+
+// Two nodes, one edge, source side: the smallest interesting graph.
+TEST(EdgeCasesTest, TwoNodeGraphAllSolvers) {
+  const Graph g = testing::FromEdges(2, {{0, 1}});
+  for (DanglingPolicy policy :
+       {DanglingPolicy::kAbsorb, DanglingPolicy::kBackToSource}) {
+    const RwrConfig config = TinyConfig(2, policy);
+    ExactInverse oracle(g, config);
+    const std::vector<Score> exact = oracle.Query(0);
+    // kAbsorb: walk reaches node 1 w.p. (1-alpha) and sticks there.
+    if (policy == DanglingPolicy::kAbsorb) {
+      EXPECT_NEAR(exact[0], config.alpha, 1e-12);
+      EXPECT_NEAR(exact[1], 1.0 - config.alpha, 1e-12);
+    }
+    PowerIteration power(g, config, 1e-12);
+    ResAccSolver resacc(g, config, ResAccOptions{});
+    const std::vector<Score> via_power = power.Query(0);
+    const std::vector<Score> via_resacc = resacc.Query(0);
+    for (NodeId v = 0; v < 2; ++v) {
+      EXPECT_NEAR(via_power[v], exact[v], 1e-9);
+      EXPECT_NEAR(via_resacc[v], exact[v], 0.05);
+    }
+  }
+}
+
+// A source with no out-edges: pi(s, .) = e_s under kAbsorb; under
+// kBackToSource the walk restarts into itself forever, so also e_s.
+TEST(EdgeCasesTest, IsolatedSourceIsItsOwnDistribution) {
+  const Graph g = testing::FromEdges(3, {{1, 2}});
+  for (DanglingPolicy policy :
+       {DanglingPolicy::kAbsorb, DanglingPolicy::kBackToSource}) {
+    const RwrConfig config = TinyConfig(3, policy);
+    PowerIteration power(g, config, 1e-12);
+    const std::vector<Score> scores = power.Query(0);
+    EXPECT_NEAR(scores[0], 1.0, 1e-9);
+    EXPECT_NEAR(scores[1], 0.0, 1e-9);
+
+    ResAccSolver resacc(g, config, ResAccOptions{});
+    const std::vector<Score> via_resacc = resacc.Query(0);
+    EXPECT_NEAR(via_resacc[0], 1.0, 1e-9);
+  }
+}
+
+// Extreme alpha values.
+TEST(EdgeCasesTest, AlphaNearOneTerminatesImmediately) {
+  const Graph g = testing::CycleGraph(10);
+  RwrConfig config = TinyConfig(10, DanglingPolicy::kAbsorb);
+  config.alpha = 0.999;
+  ResAccSolver resacc(g, config, ResAccOptions{});
+  const std::vector<Score> scores = resacc.Query(0);
+  EXPECT_GT(scores[0], 0.99);
+}
+
+TEST(EdgeCasesTest, AlphaNearZeroStillConverges) {
+  const Graph g = testing::CycleGraph(10);
+  RwrConfig config = TinyConfig(10, DanglingPolicy::kAbsorb);
+  config.alpha = 0.01;
+  PowerIteration power(g, config, 1e-10);
+  const std::vector<Score> exact = power.Query(0);
+  // Nearly uniform on a cycle.
+  for (NodeId v = 0; v < 10; ++v) EXPECT_NEAR(exact[v], 0.1, 0.05);
+
+  ResAccSolver resacc(g, config, ResAccOptions{});
+  const std::vector<Score> scores = resacc.Query(0);
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Complete bipartite-ish star queried from a leaf: one hop to the hub,
+// then fan-out; exercises h-HopFWD layers of very different sizes.
+TEST(EdgeCasesTest, StarFromLeaf) {
+  const Graph g = testing::StarGraph(50);
+  const RwrConfig config = TinyConfig(51, DanglingPolicy::kAbsorb);
+  ExactInverse oracle(g, config);
+  const std::vector<Score> exact = oracle.Query(1);
+  ResAccSolver resacc(g, config, ResAccOptions{});
+  const std::vector<Score> scores = resacc.Query(1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (exact[v] > config.delta) {
+      EXPECT_LE(std::abs(scores[v] - exact[v]) / exact[v], config.epsilon);
+    }
+  }
+}
+
+// All-sink graph except the source: every walk ends at distance <= 1.
+TEST(EdgeCasesTest, AllNeighborsAreSinks) {
+  GraphBuilder builder(5);
+  for (NodeId v = 1; v < 5; ++v) builder.AddEdge(0, v);
+  const Graph g = std::move(builder).Build();
+  const RwrConfig config = TinyConfig(5, DanglingPolicy::kAbsorb);
+  ResAccSolver resacc(g, config, ResAccOptions{});
+  const std::vector<Score> scores = resacc.Query(0);
+  EXPECT_NEAR(scores[0], config.alpha, 0.02);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_NEAR(scores[v], (1.0 - config.alpha) / 4.0, 0.02);
+  }
+}
+
+TEST(EdgeCasesTest, MonteCarloOnSinkOnlyNeighborhood) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  const Graph g = std::move(builder).Build();
+  const RwrConfig config = TinyConfig(3, DanglingPolicy::kBackToSource);
+  MonteCarlo mc(g, config);
+  const std::vector<Score> scores = mc.Query(0);
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EdgeCasesTest, ParticleFilterTinyWalkBudget) {
+  const Graph g = testing::CycleGraph(20);
+  const RwrConfig config = TinyConfig(20, DanglingPolicy::kAbsorb);
+  ParticleFilterOptions options;
+  options.total_walks = 10.0;  // fewer walks than nodes
+  options.w_min = 100.0;       // everything quantizes away instantly
+  ParticleFilter pf(g, config, options);
+  const std::vector<Score> scores = pf.Query(0);
+  // Degenerate but sane: mass in [0, 1], source keeps its alpha share.
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_GE(total, 0.0);
+  EXPECT_LE(total, 1.0 + 1e-12);
+}
+
+TEST(EdgeCasesTest, TpaOneHopNearField) {
+  const Graph g = testing::CycleGraph(30);
+  const RwrConfig config = TinyConfig(30, DanglingPolicy::kAbsorb);
+  TpaOptions options;
+  options.near_hops = 1;
+  Tpa tpa(g, config, options);
+  ASSERT_TRUE(tpa.BuildIndex().ok());
+  const std::vector<Score> scores = tpa.Query(0);
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EdgeCasesTest, SlashBurnOnTinyGraphs) {
+  const SlashBurnResult one = RunSlashBurn(testing::CycleGraph(3), 1, 1);
+  std::size_t covered = one.hubs.size() + one.num_spoke_nodes();
+  EXPECT_EQ(covered, 3u);
+
+  const SlashBurnResult star = RunSlashBurn(testing::StarGraph(5), 1, 2);
+  covered = star.hubs.size() + star.num_spoke_nodes();
+  EXPECT_EQ(covered, 6u);
+  EXPECT_EQ(star.hubs[0], 0u);  // the hub goes first
+}
+
+TEST(EdgeCasesTest, LuOneByOne) {
+  DenseMatrix a(1, 1);
+  a.At(0, 0) = 4.0;
+  const LuDecomposition lu(std::move(a));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Solve({8.0})[0], 2.0, 1e-15);
+}
+
+TEST(EdgeCasesTest, ForaWithCustomRMax) {
+  const Graph g = testing::CycleGraph(50);
+  const RwrConfig config = TinyConfig(50, DanglingPolicy::kAbsorb);
+  ForaOptions options;
+  options.r_max = 0.5;  // push phase does almost nothing; walks carry it
+  Fora fora(g, config, options);
+  const std::vector<Score> scores = fora.Query(0);
+  PowerIteration power(g, config, 1e-12);
+  const std::vector<Score> exact = power.Query(0);
+  for (NodeId v = 0; v < 50; ++v) {
+    if (exact[v] > config.delta) {
+      EXPECT_LE(std::abs(scores[v] - exact[v]) / exact[v], config.epsilon)
+          << "node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,103 @@
+// Property-style randomized sweeps: every solver on every graph shape
+// must satisfy the algebraic invariants the theory promises, for many
+// random (generator, seed, parameter) combinations. These catch classes
+// of bugs the targeted unit tests don't (rare topology corner cases,
+// parameter interactions).
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/fora.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/power.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/metrics.h"
+#include "resacc/graph/generators.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+namespace {
+
+struct FuzzCase {
+  int graph_kind;       // 0 ER, 1 ChungLu, 2 BA, 3 WS, 4 SBM
+  std::uint64_t seed;
+  double alpha;
+  DanglingPolicy policy;
+};
+
+Graph MakeFuzzGraph(const FuzzCase& fuzz) {
+  switch (fuzz.graph_kind) {
+    case 0:
+      return ErdosRenyi(250, 1000, fuzz.seed);
+    case 1:
+      return ChungLuPowerLaw(250, 1500, 2.1, fuzz.seed);
+    case 2:
+      return BarabasiAlbert(250, 2, fuzz.seed);
+    case 3:
+      return WattsStrogatz(250, 3, 0.2, fuzz.seed);
+    default:
+      return PlantedPartition(250, 5, 8.0, 1.0, fuzz.seed);
+  }
+}
+
+class FuzzInvariantsTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::uint64_t, double, DanglingPolicy>> {};
+
+TEST_P(FuzzInvariantsTest, SolversProduceDistributionsMeetingGuarantee) {
+  const auto [kind, seed, alpha, policy] = GetParam();
+  const FuzzCase fuzz{kind, seed, alpha, policy};
+  const Graph g = MakeFuzzGraph(fuzz);
+
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.alpha = alpha;
+  config.p_f = 1e-7;
+  config.dangling = policy;
+  config.seed = seed ^ 0xfeed;
+
+  // Random eligible source derived from the seed.
+  Rng rng(seed);
+  NodeId source = rng.NextBounded32(g.num_nodes());
+  while (g.OutDegree(source) == 0) source = (source + 1) % g.num_nodes();
+
+  PowerIteration power(g, config, 1e-12);
+  const std::vector<Score> exact = power.Query(source);
+  // Ground truth itself must be a distribution.
+  Score exact_total = 0.0;
+  for (Score s : exact) exact_total += s;
+  ASSERT_NEAR(exact_total, 1.0, 1e-9);
+
+  ResAccSolver resacc(g, config, ResAccOptions{});
+  Fora fora(g, config, {});
+  MonteCarlo mc(g, config);
+  for (SsrwrAlgorithm* algo :
+       std::initializer_list<SsrwrAlgorithm*>{&resacc, &fora, &mc}) {
+    const std::vector<Score> estimate = algo->Query(source);
+    Score total = 0.0;
+    Score minimum = 1.0;
+    for (Score s : estimate) {
+      total += s;
+      minimum = std::min(minimum, s);
+    }
+    EXPECT_GE(minimum, 0.0) << algo->name();
+    EXPECT_NEAR(total, 1.0, 1e-8) << algo->name();
+    EXPECT_LE(MaxRelativeErrorAboveDelta(estimate, exact, config.delta),
+              config.epsilon)
+        << algo->name() << " kind=" << kind << " seed=" << seed
+        << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzInvariantsTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(11u, 222u),
+                       ::testing::Values(0.1, 0.2, 0.5),
+                       ::testing::Values(DanglingPolicy::kAbsorb,
+                                         DanglingPolicy::kBackToSource)));
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,140 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "resacc/graph/generators.h"
+#include "resacc/graph/graph.h"
+
+namespace resacc {
+namespace {
+
+// Structural invariants every generator must satisfy, swept over
+// (generator kind, seed) with TEST_P.
+enum class Kind { kErdosRenyi, kChungLu, kBarabasiAlbert, kWattsStrogatz,
+                  kPlantedPartition };
+
+Graph Make(Kind kind, std::uint64_t seed) {
+  switch (kind) {
+    case Kind::kErdosRenyi:
+      return ErdosRenyi(500, 2000, seed);
+    case Kind::kChungLu:
+      return ChungLuPowerLaw(500, 2500, 2.2, seed);
+    case Kind::kBarabasiAlbert:
+      return BarabasiAlbert(500, 3, seed);
+    case Kind::kWattsStrogatz:
+      return WattsStrogatz(500, 4, 0.1, seed);
+    case Kind::kPlantedPartition:
+      return PlantedPartition(500, 5, 8.0, 1.0, seed);
+  }
+  return Graph();
+}
+
+class GeneratorInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<Kind, std::uint64_t>> {};
+
+TEST_P(GeneratorInvariantsTest, NoSelfLoopsSortedDedupedConsistent) {
+  const auto [kind, seed] = GetParam();
+  const Graph g = Make(kind, seed);
+  ASSERT_GT(g.num_nodes(), 0u);
+  ASSERT_GT(g.num_edges(), 0u);
+
+  EdgeId out_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto neighbors = g.OutNeighbors(u);
+    out_total += neighbors.size();
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      EXPECT_NE(neighbors[i], u) << "self loop at " << u;
+      if (i > 0) {
+        EXPECT_LT(neighbors[i - 1], neighbors[i])
+            << "unsorted/duplicate at " << u;
+      }
+    }
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+
+  // Every out-edge has a matching in-edge entry.
+  EdgeId in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) in_total += g.InDegree(v);
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST_P(GeneratorInvariantsTest, DeterministicInSeed) {
+  const auto [kind, seed] = GetParam();
+  const Graph a = Make(kind, seed);
+  const Graph b = Make(kind, seed);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v)) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorInvariantsTest,
+    ::testing::Combine(::testing::Values(Kind::kErdosRenyi, Kind::kChungLu,
+                                         Kind::kBarabasiAlbert,
+                                         Kind::kWattsStrogatz,
+                                         Kind::kPlantedPartition),
+                       ::testing::Values(1u, 42u, 12345u)));
+
+TEST(ErdosRenyiTest, HitsRequestedEdgeCountApproximately) {
+  const Graph g = ErdosRenyi(1000, 5000, 3);
+  EXPECT_GT(g.num_edges(), 4900u);  // few duplicates at this density
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(ChungLuTest, ProducesHeavyTail) {
+  const Graph g = ChungLuPowerLaw(5000, 50000, 2.1, 9);
+  // A power-law graph's max degree should far exceed the average.
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_nodes());
+  EXPECT_GT(g.MaxOutDegree(), 10 * avg);
+}
+
+TEST(ChungLuTest, SymmetrizedIsUndirected) {
+  const Graph g = ChungLuPowerLaw(500, 3000, 2.3, 4, /*symmetrize=*/true);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(BarabasiAlbertTest, OlderNodesAreRicher) {
+  const Graph g = BarabasiAlbert(2000, 2, 5);
+  // Preferential attachment: early nodes accumulate far higher degree.
+  double early = 0.0;
+  double late = 0.0;
+  for (NodeId v = 0; v < 20; ++v) early += g.OutDegree(v);
+  for (NodeId v = 1980; v < 2000; ++v) late += g.OutDegree(v);
+  EXPECT_GT(early, 3.0 * late);
+}
+
+TEST(WattsStrogatzTest, DegreeNearlyRegular) {
+  const Graph g = WattsStrogatz(1000, 3, 0.05, 6);
+  // Ring lattice with k=3 per side: degree ~6 with small rewiring noise.
+  for (NodeId v = 0; v < g.num_nodes(); v += 37) {
+    EXPECT_GE(g.OutDegree(v), 3u);
+    EXPECT_LE(g.OutDegree(v), 12u);
+  }
+}
+
+TEST(PlantedPartitionTest, WithinBlockDensityDominates) {
+  const NodeId n = 1000;
+  const NodeId blocks = 10;
+  const Graph g = PlantedPartition(n, blocks, 12.0, 2.0, 8);
+  const NodeId block_size = n / blocks;
+  EdgeId within = 0;
+  EdgeId cross = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (u / block_size == v / block_size) {
+        ++within;
+      } else {
+        ++cross;
+      }
+    }
+  }
+  EXPECT_GT(within, 3 * cross);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,170 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "resacc/graph/datasets.h"
+#include "resacc/graph/generators.h"
+#include "resacc/graph/graph.h"
+#include "resacc/graph/graph_builder.h"
+#include "resacc/graph/graph_io.h"
+#include "resacc/graph/hop_layers.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+using ::resacc::testing::Figure1Graph;
+using ::resacc::testing::FromEdges;
+
+TEST(GraphBuilderTest, BuildsCsrWithSortedNeighbors) {
+  const Graph g = FromEdges(4, {{2, 1}, {0, 3}, {0, 1}, {2, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  ASSERT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[1], 3u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.InNeighbors(1)[0], 0u);
+  EXPECT_EQ(g.InNeighbors(1)[1], 2u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 1);  // self loop
+  builder.AddEdge(1, 2);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, SymmetrizeAddsBothDirections) {
+  GraphBuilder builder(3, /*symmetrize=*/true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(GraphTest, InOutDegreeSumsMatchEdges) {
+  const Graph g = Figure1Graph();
+  EdgeId out_sum = 0;
+  EdgeId in_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out_sum += g.OutDegree(v);
+    in_sum += g.InDegree(v);
+  }
+  EXPECT_EQ(out_sum, g.num_edges());
+  EXPECT_EQ(in_sum, g.num_edges());
+}
+
+TEST(GraphTest, HasEdgeAndMaxDegree) {
+  const Graph g = Figure1Graph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.MaxOutDegree(), 2u);
+  EXPECT_EQ(g.NodesByOutDegreeDesc()[0], 0u);
+}
+
+TEST(GraphTest, MemoryBytesPositive) {
+  EXPECT_GT(Figure1Graph().MemoryBytes(), 0u);
+}
+
+TEST(GraphIoTest, RoundTripsEdgeList) {
+  const Graph g = Figure1Graph();
+  const std::string path = ::testing::TempDir() + "/resacc_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  const StatusOr<Graph> loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.value().OutDegree(v), g.OutDegree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  const StatusOr<Graph> result = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/resacc_io_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# comment\n0 1\nnot numbers\n");
+  std::fclose(f);
+  const StatusOr<Graph> result = LoadEdgeList(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(HopLayersTest, LayersOfFigure1) {
+  const Graph g = Figure1Graph();
+  const HopLayers layers = ComputeHopLayers(g, NodeId{0}, 3);
+  ASSERT_EQ(layers.layers.size(), 4u);
+  EXPECT_EQ(layers.layers[0], std::vector<NodeId>{0});
+  EXPECT_EQ(layers.layers[1].size(), 2u);  // v2, v3
+  EXPECT_EQ(layers.layers[2], std::vector<NodeId>{3});
+  EXPECT_TRUE(layers.layers[3].empty());
+  EXPECT_EQ(layers.distance[0], 0u);
+  EXPECT_EQ(layers.distance[3], 2u);
+  EXPECT_EQ(layers.HopSetSize(1), 3u);
+  EXPECT_TRUE(layers.InHopSet(1, 1));
+  EXPECT_FALSE(layers.InHopSet(3, 1));
+}
+
+TEST(HopLayersTest, TruncationLeavesUnreached) {
+  const Graph g = testing::CycleGraph(10);
+  const HopLayers layers = ComputeHopLayers(g, NodeId{0}, 3);
+  EXPECT_EQ(layers.distance[4], HopLayers::kUnreached);
+  EXPECT_EQ(layers.distance[3], 3u);
+}
+
+TEST(HopLayersTest, MultiSourceTakesNearest) {
+  const Graph g = testing::CycleGraph(10);
+  const HopLayers layers = ComputeHopLayers(g, {NodeId{0}, NodeId{5}}, 2);
+  EXPECT_EQ(layers.layers[0].size(), 2u);
+  EXPECT_EQ(layers.distance[6], 1u);
+  EXPECT_EQ(layers.distance[1], 1u);
+  EXPECT_EQ(layers.distance[7], 2u);
+}
+
+TEST(DatasetsTest, RegistryIsComplete) {
+  EXPECT_EQ(AllDatasets().size(), 8u);
+  EXPECT_TRUE(FindDataset("dblp-sim").ok());
+  EXPECT_TRUE(FindDataset("twitter-sim").ok());
+  EXPECT_FALSE(FindDataset("no-such-dataset").ok());
+}
+
+TEST(DatasetsTest, StandInsMatchSpecShape) {
+  const DatasetSpec spec = FindDataset("dblp-sim").value();
+  const Graph g = MakeDataset(spec, /*scale=*/0.1);
+  EXPECT_NEAR(static_cast<double>(g.num_nodes()),
+              0.1 * static_cast<double>(spec.base_nodes),
+              0.1 * static_cast<double>(spec.base_nodes) * 0.05 + 65);
+  // Undirected stand-in: in-degree equals out-degree everywhere.
+  for (NodeId v = 0; v < g.num_nodes(); v += 97) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(DatasetsTest, DeterministicAcrossCalls) {
+  const DatasetSpec spec = FindDataset("webstan-sim").value();
+  const Graph a = MakeDataset(spec, 0.05, 7);
+  const Graph b = MakeDataset(spec, 0.05, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); v += 131) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+}  // namespace
+}  // namespace resacc

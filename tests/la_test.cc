@@ -1,0 +1,161 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "resacc/la/dense_matrix.h"
+#include "resacc/la/sparse_matrix.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+TEST(DenseMatrixTest, IdentityAndMultiply) {
+  const DenseMatrix eye = DenseMatrix::Identity(3);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.MultiplyVector(x), x);
+
+  DenseMatrix a(2, 3);
+  a.At(0, 0) = 1;
+  a.At(0, 2) = 2;
+  a.At(1, 1) = -1;
+  const std::vector<double> y = a.MultiplyVector(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(DenseMatrixTest, MatrixMultiply) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  const DenseMatrix square = a.Multiply(a);
+  EXPECT_DOUBLE_EQ(square.At(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(square.At(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(square.At(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(square.At(1, 1), 22.0);
+}
+
+TEST(LuDecompositionTest, SolvesKnownSystem) {
+  DenseMatrix a(3, 3);
+  const double values[3][3] = {{2, 1, 1}, {1, 3, 2}, {1, 0, 0}};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) a.At(r, c) = values[r][c];
+  }
+  const LuDecomposition lu(std::move(a));
+  ASSERT_TRUE(lu.ok());
+  // Solution of the system with b = (4, 5, 6): x = (6, 15, -23).
+  const std::vector<double> x = lu.Solve({4, 5, 6});
+  EXPECT_NEAR(x[0], 6.0, 1e-12);
+  EXPECT_NEAR(x[1], 15.0, 1e-12);
+  EXPECT_NEAR(x[2], -23.0, 1e-12);
+}
+
+TEST(LuDecompositionTest, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  const LuDecomposition lu(std::move(a));
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(LuDecompositionTest, InverseTimesMatrixIsIdentity) {
+  DenseMatrix a(3, 3);
+  const double values[3][3] = {{4, -2, 1}, {3, 6, -4}, {2, 1, 8}};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) a.At(r, c) = values[r][c];
+  }
+  DenseMatrix copy = a;
+  const LuDecomposition lu(std::move(copy));
+  ASSERT_TRUE(lu.ok());
+  const DenseMatrix inv = lu.Inverse();
+  const DenseMatrix product = a.Multiply(inv);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(product.At(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(LuDecompositionTest, NeedsPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  const LuDecomposition lu(std::move(a));
+  ASSERT_TRUE(lu.ok());
+  const std::vector<double> x = lu.Solve({3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  // 2x3 matrix [[1,0,2],[0,3,0]] in CSR.
+  const SparseMatrix m(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  const std::vector<double> y = m.MultiplyVector({1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+
+  std::vector<double> acc = {10.0, 10.0};
+  m.MultiplyVectorAccumulate({1.0, 2.0, 3.0}, 0.5, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 13.5);
+  EXPECT_DOUBLE_EQ(acc[1], 13.0);
+}
+
+TEST(SparseMatrixTest, TransposeRoundTrip) {
+  const SparseMatrix m(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  const SparseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.nnz(), 3u);
+  const SparseMatrix round = t.Transpose();
+  const std::vector<double> x = {1.0, -1.0, 0.5};
+  EXPECT_EQ(round.MultiplyVector(x), m.MultiplyVector(x));
+}
+
+TEST(TransitionMatrixTest, RowsAreStochastic) {
+  const Graph g = testing::Figure1Graph();
+  const SparseMatrix p = TransitionMatrix(g);
+  // Row v1 has two 0.5 entries; sink row v4 is empty.
+  const std::vector<double> ones(4, 1.0);
+  const std::vector<double> row_sums = p.MultiplyVector(ones);
+  EXPECT_DOUBLE_EQ(row_sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(row_sums[1], 1.0);
+  EXPECT_DOUBLE_EQ(row_sums[2], 1.0);
+  EXPECT_DOUBLE_EQ(row_sums[3], 0.0);
+}
+
+TEST(TransitionMatrixTest, TransposeAgreesWithExplicitTranspose) {
+  const Graph g = testing::Figure1Graph();
+  const SparseMatrix pt_direct = TransitionMatrixTranspose(g);
+  const SparseMatrix pt_via = TransitionMatrix(g).Transpose();
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> a = pt_direct.MultiplyVector(x);
+  const std::vector<double> b = pt_via.MultiplyVector(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-15);
+}
+
+TEST(SparseMatrixTest, SubBlockExtractsRenumbered) {
+  const Graph g = testing::Figure1Graph();
+  const SparseMatrix p = TransitionMatrix(g);
+  // Rows/cols {0, 1}: edges v1->v2 (0.5) stays; v1->v3, v2->v4 drop.
+  std::vector<NodeId> index_of(4, kInvalidNode);
+  index_of[0] = 0;
+  index_of[1] = 1;
+  const SparseMatrix block = p.SubBlock({0, 1}, index_of);
+  EXPECT_EQ(block.rows(), 2u);
+  EXPECT_EQ(block.nnz(), 1u);
+  const std::vector<double> y = block.MultiplyVector({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+}  // namespace
+}  // namespace resacc

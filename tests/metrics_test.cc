@@ -1,0 +1,132 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "resacc/eval/community_metrics.h"
+#include "resacc/eval/ground_truth.h"
+#include "resacc/eval/metrics.h"
+#include "resacc/eval/sources.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+TEST(MetricsTest, AbsErrorAtKComparesOrderStatistics) {
+  const std::vector<Score> exact = {0.5, 0.3, 0.2, 0.0};
+  const std::vector<Score> estimate = {0.45, 0.35, 0.2, 0.0};
+  EXPECT_NEAR(AbsErrorAtK(estimate, exact, 1), 0.05, 1e-15);  // 0.45 vs 0.5
+  EXPECT_NEAR(AbsErrorAtK(estimate, exact, 2), 0.05, 1e-15);  // 0.35 vs 0.3
+  EXPECT_NEAR(AbsErrorAtK(estimate, exact, 3), 0.0, 1e-15);
+  // k beyond n clamps.
+  EXPECT_NEAR(AbsErrorAtK(estimate, exact, 100), 0.0, 1e-15);
+}
+
+TEST(MetricsTest, MeanAbsError) {
+  EXPECT_DOUBLE_EQ(MeanAbsError({1.0, 2.0}, {0.0, 4.0}), 1.5);
+  EXPECT_DOUBLE_EQ(MeanAbsError({1.0}, {1.0}), 0.0);
+}
+
+TEST(MetricsTest, MeanAbsErrorTopKUsesTrueTop) {
+  const std::vector<Score> exact = {0.9, 0.1, 0.5, 0.0};
+  const std::vector<Score> estimate = {0.8, 0.1, 0.6, 0.3};
+  // True top-2 = nodes 0 and 2; errors 0.1 and 0.1.
+  EXPECT_NEAR(MeanAbsErrorTopK(estimate, exact, 2), 0.1, 1e-15);
+}
+
+TEST(MetricsTest, MaxRelativeErrorRespectsDelta) {
+  const std::vector<Score> exact = {0.5, 0.001};
+  const std::vector<Score> estimate = {0.4, 0.1};
+  // Only node 0 is above delta = 0.01; its relative error is 0.2.
+  EXPECT_NEAR(MaxRelativeErrorAboveDelta(estimate, exact, 0.01), 0.2, 1e-12);
+}
+
+TEST(MetricsTest, NdcgPerfectAndImperfect) {
+  const std::vector<Score> exact = {0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(NdcgAtK(exact, exact, 3), 1.0);
+  // Reversed ranking is worse but positive.
+  const std::vector<Score> reversed = {0.1, 0.2, 0.3};
+  const double ndcg = NdcgAtK(reversed, exact, 3);
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.5);
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  const std::vector<Score> exact = {0.5, 0.4, 0.1, 0.0};
+  const std::vector<Score> estimate = {0.5, 0.0, 0.4, 0.1};
+  // True top-2 {0,1}; estimated top-2 {0,2} -> precision 0.5.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(estimate, exact, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, exact, 3), 1.0);
+}
+
+TEST(CommunityMetricsTest, HandComputedSquare) {
+  // Two triangles joined by one edge (symmetrized).
+  const Graph g = testing::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}},
+      /*symmetrize=*/true);
+  const std::vector<NodeId> community = {0, 1, 2};
+  // cut = 1 directed edge out (2->3); volume = deg sum = 2+2+3 = 7.
+  EXPECT_EQ(CommunityCut(g, community), 1u);
+  EXPECT_EQ(CommunityVolume(g, community), 7u);
+  EXPECT_NEAR(NormalizedCut(g, community), 1.0 / 7.0, 1e-12);
+  // links(V-C, V) = m - vol + cut = 14 - 7 + 1 = 8; min(7, 8) = 7.
+  EXPECT_NEAR(Conductance(g, community), 1.0 / 7.0, 1e-12);
+}
+
+TEST(CommunityMetricsTest, AveragesOverCommunities) {
+  const Graph g = testing::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}},
+      /*symmetrize=*/true);
+  const std::vector<std::vector<NodeId>> communities = {{0, 1, 2}, {3, 4, 5}};
+  EXPECT_NEAR(AverageNormalizedCut(g, communities), 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(AverageConductance(g, communities), 1.0 / 7.0, 1e-12);
+}
+
+TEST(CommunityMetricsTest, WholeGraphHasZeroCut) {
+  const Graph g = testing::StarGraph(5);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  EXPECT_EQ(CommunityCut(g, all), 0u);
+  EXPECT_DOUBLE_EQ(NormalizedCut(g, all), 0.0);
+}
+
+TEST(GroundTruthCacheTest, MemoizesPerSource) {
+  const Graph g = ErdosRenyi(100, 500, 2);
+  RwrConfig config;
+  config.delta = 0.01;
+  config.p_f = 0.01;
+  GroundTruthCache cache(g, config);
+  const std::vector<Score>& a = cache.Get(3);
+  const std::vector<Score>& b = cache.Get(3);
+  EXPECT_EQ(&a, &b);  // same object, not recomputed
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Get(4);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SourcesTest, UniformSourcesAreDistinctAndEligible) {
+  const Graph g = ChungLuPowerLaw(500, 2500, 2.2, 3);
+  const std::vector<NodeId> sources = PickUniformSources(g, 50, 7);
+  EXPECT_EQ(sources.size(), 50u);
+  std::vector<char> seen(g.num_nodes(), 0);
+  for (NodeId s : sources) {
+    EXPECT_GT(g.OutDegree(s), 0u);
+    EXPECT_FALSE(seen[s]) << "duplicate source " << s;
+    seen[s] = 1;
+  }
+  // Deterministic in seed.
+  EXPECT_EQ(PickUniformSources(g, 50, 7), sources);
+  EXPECT_NE(PickUniformSources(g, 50, 8), sources);
+}
+
+TEST(SourcesTest, TopOutDegreeSourcesAreSorted) {
+  const Graph g = ChungLuPowerLaw(500, 2500, 2.2, 4);
+  const std::vector<NodeId> sources = PickTopOutDegreeSources(g, 20);
+  ASSERT_EQ(sources.size(), 20u);
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    EXPECT_GE(g.OutDegree(sources[i - 1]), g.OutDegree(sources[i]));
+  }
+}
+
+}  // namespace
+}  // namespace resacc

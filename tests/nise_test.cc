@@ -1,0 +1,155 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/fora.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/community_metrics.h"
+#include "resacc/graph/generators.h"
+#include "resacc/graph/graph_builder.h"
+#include "resacc/nise/nise.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig CommunityConfig(NodeId n) {
+  RwrConfig config = RwrConfig::ForGraphSize(n);
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.seed = 99;
+  return config;
+}
+
+TEST(NiseTest, SeedsAreSpreadHubs) {
+  const Graph g = PlantedPartition(600, 6, 12.0, 1.0, 5);
+  NiseOptions options;
+  options.num_communities = 6;
+  Nise nise(g, options);
+  const std::vector<NodeId> seeds = nise.SelectSeeds();
+  ASSERT_EQ(seeds.size(), 6u);
+  // Spread: no seed may be a neighbour of an earlier seed.
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(seeds[i], seeds[j]))
+          << seeds[i] << " adj " << seeds[j];
+    }
+  }
+}
+
+TEST(NiseTest, RecoversPlantedCommunities) {
+  const NodeId n = 800;
+  const NodeId blocks = 8;
+  const Graph g = PlantedPartition(n, blocks, 14.0, 1.0, 6);
+  const RwrConfig config = CommunityConfig(n);
+
+  NiseOptions options;
+  options.num_communities = blocks;
+  // Purity is a property of the sweep cuts; propagation intentionally
+  // dilutes it by absorbing uncovered far-away nodes (tested separately).
+  options.propagate_uncovered = false;
+  Nise nise(g, options);
+  ResAccSolver solver(g, config, {});
+  const NiseResult result = nise.Detect(solver);
+
+  ASSERT_GE(result.communities.size(), blocks - 2u);
+  // Planted blocks have conductance about deg_out/(deg_in+deg_out) ~ 0.07;
+  // detected communities must be far below random (0.5+).
+  EXPECT_LT(AverageConductance(g, result.communities), 0.25);
+  EXPECT_LT(AverageNormalizedCut(g, result.communities), 0.25);
+  EXPECT_GT(result.ssrwr_seconds, 0.0);
+
+  // Communities should roughly align with planted blocks: majority of each
+  // community in one block.
+  const NodeId block_size = n / blocks;
+  for (const auto& community : result.communities) {
+    std::vector<std::size_t> votes(blocks, 0);
+    for (NodeId v : community) ++votes[v / block_size];
+    const std::size_t top = *std::max_element(votes.begin(), votes.end());
+    EXPECT_GE(top * 10, community.size() * 6)  // >= 60% purity
+        << "community of size " << community.size();
+  }
+}
+
+TEST(NiseTest, PropagationCoversTheConnectedGraph) {
+  const Graph g = PlantedPartition(600, 6, 12.0, 1.5, 9);
+  const RwrConfig config = CommunityConfig(600);
+  NiseOptions options;
+  options.num_communities = 6;
+  options.propagate_uncovered = true;
+  ResAccSolver solver(g, config, {});
+  const NiseResult result = Nise(g, options).Detect(solver);
+
+  std::vector<char> covered(g.num_nodes(), 0);
+  for (const auto& community : result.communities) {
+    for (NodeId v : community) covered[v] = 1;
+  }
+  // Every node with at least one edge must end up in some community
+  // (isolated nodes have no neighbours to vote with).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.OutDegree(v) > 0) {
+      EXPECT_TRUE(covered[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(NiseTest, FilteringSkipsSatelliteComponents) {
+  // Giant SBM plus a detached triangle: seeds must avoid the triangle.
+  Graph base = PlantedPartition(300, 3, 10.0, 1.0, 4);
+  GraphBuilder builder(base.num_nodes() + 3, /*symmetrize=*/true);
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    for (NodeId v : base.OutNeighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  const NodeId t = base.num_nodes();
+  builder.AddEdge(t, t + 1);
+  builder.AddEdge(t + 1, t + 2);
+  builder.AddEdge(t + 2, t);
+  const Graph g = std::move(builder).Build();
+
+  NiseOptions options;
+  options.num_communities = 50;  // more than available spread hubs
+  options.filter_to_largest_component = true;
+  const std::vector<NodeId> seeds = Nise(g, options).SelectSeeds();
+  for (NodeId seed : seeds) {
+    EXPECT_LT(seed, t) << "seed in satellite component";
+  }
+}
+
+TEST(NiseTest, SsrwrOrderingBeatsDistanceOrdering) {
+  const Graph g = PlantedPartition(800, 8, 14.0, 1.5, 7);
+  const RwrConfig config = CommunityConfig(800);
+
+  NiseOptions with_ssrwr;
+  with_ssrwr.num_communities = 8;
+  with_ssrwr.use_ssrwr_ordering = true;
+
+  NiseOptions without_ssrwr = with_ssrwr;
+  without_ssrwr.use_ssrwr_ordering = false;
+
+  ResAccSolver solver(g, config, {});
+  const NiseResult good = Nise(g, with_ssrwr).Detect(solver);
+  const NiseResult bad = Nise(g, without_ssrwr).Detect(solver);
+
+  // Table V's shape: NISE with SSRWR produces better (lower) cuts.
+  EXPECT_LT(AverageConductance(g, good.communities),
+            AverageConductance(g, bad.communities));
+}
+
+TEST(NiseTest, SolverChoiceDoesNotChangeQualityMuch) {
+  const Graph g = PlantedPartition(600, 6, 12.0, 1.0, 8);
+  const RwrConfig config = CommunityConfig(600);
+  NiseOptions options;
+  options.num_communities = 6;
+
+  ResAccSolver resacc(g, config, {});
+  Fora fora(g, config, {});
+  const NiseResult via_resacc = Nise(g, options).Detect(resacc);
+  const NiseResult via_fora = Nise(g, options).Detect(fora);
+
+  const double qa = AverageConductance(g, via_resacc.communities);
+  const double qb = AverageConductance(g, via_fora.communities);
+  EXPECT_NEAR(qa, qb, 0.1);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,153 @@
+// Cross-cutting mathematical properties that tie modules together:
+// reversibility on undirected graphs, pairwise sums, iteration-count
+// scaling, and dataset-registry contracts.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/bippr.h"
+#include "resacc/algo/inverse.h"
+#include "resacc/algo/power.h"
+#include "resacc/core/remedy.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/graph/datasets.h"
+#include "resacc/graph/generators.h"
+#include "resacc/util/stats.h"
+#include "resacc/util/top_k.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+// On an undirected graph the RWR chain is reversible:
+// pi(s, t) * d(s) = pi(t, s) * d(t). A strong whole-matrix correctness
+// check for the exact solver.
+TEST(PropertyTest, UndirectedReversibility) {
+  const Graph g = ChungLuPowerLaw(120, 700, 2.2, 3, /*symmetrize=*/true);
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  ExactInverse oracle(g, config);
+
+  for (NodeId s : {NodeId{0}, NodeId{17}, NodeId{55}}) {
+    const std::vector<Score> from_s = oracle.Query(s);
+    for (NodeId t : {NodeId{1}, NodeId{30}, NodeId{99}}) {
+      const std::vector<Score> from_t = oracle.Query(t);
+      const double lhs = from_s[t] * g.OutDegree(s);
+      const double rhs = from_t[s] * g.OutDegree(t);
+      EXPECT_NEAR(lhs, rhs, 1e-10) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// Summing BiPPR's pairwise estimates over every target recovers ~1
+// (each pair is estimated independently, so this checks systematic bias).
+TEST(PropertyTest, BiPprPairwiseEstimatesSumToOne) {
+  const Graph g = ChungLuPowerLaw(100, 600, 2.2, 4, /*symmetrize=*/true);
+  RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.seed = 21;
+  BiPpr bippr(g, config);
+  Score total = 0.0;
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    total += bippr.EstimatePair(5, t);
+  }
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+// Power iteration rounds scale as log(tolerance) / log(1 - alpha).
+TEST(PropertyTest, PowerIterationCountMatchesGeometry) {
+  const Graph g = testing::CycleGraph(64);
+  RwrConfig config = RwrConfig::ForGraphSize(64);
+  config.dangling = DanglingPolicy::kAbsorb;
+  for (double tolerance : {1e-4, 1e-8, 1e-12}) {
+    PowerIteration power(g, config, tolerance);
+    power.Query(0);
+    const double expected =
+        std::log(tolerance) / std::log(1.0 - config.alpha);
+    EXPECT_NEAR(power.last_iterations(), expected, 2.0)
+        << "tolerance " << tolerance;
+  }
+}
+
+// Remedy walk counts scale linearly in walk_scale.
+TEST(PropertyTest, RemedyWalkCountScalesLinearly) {
+  const Graph g = ErdosRenyi(300, 1500, 5);
+  RwrConfig config = RwrConfig::ForGraphSize(300);
+  config.dangling = DanglingPolicy::kAbsorb;
+
+  auto walks_at_scale = [&](double scale) {
+    ResAccOptions options;
+    options.walk_scale = scale;
+    ResAccSolver solver(g, config, options);
+    solver.Query(0);
+    return solver.last_stats().remedy.walks;
+  };
+  const std::uint64_t at_full = walks_at_scale(1.0);
+  const std::uint64_t at_half = walks_at_scale(0.5);
+  EXPECT_GT(at_full, at_half);
+  EXPECT_NEAR(static_cast<double>(at_full) / static_cast<double>(at_half),
+              2.0, 0.3);
+}
+
+// TopK helpers: degenerate k.
+TEST(PropertyTest, TopKZeroAndAll) {
+  const std::vector<Score> scores = {0.3, 0.1, 0.6};
+  EXPECT_TRUE(TopKIndices(scores, 0).empty());
+  const std::vector<NodeId> all = TopKIndices(scores, 3);
+  EXPECT_EQ(all, (std::vector<NodeId>{2, 0, 1}));
+}
+
+// Quantiles agree with a brute-force definition on random samples.
+TEST(PropertyTest, QuantileMatchesBruteForceEndpoints) {
+  Rng rng(8);
+  std::vector<double> sample(101);
+  for (double& x : sample) x = rng.NextDouble();
+  std::sort(sample.begin(), sample.end());
+  EXPECT_DOUBLE_EQ(QuantileSorted(sample, 0.0), sample.front());
+  EXPECT_DOUBLE_EQ(QuantileSorted(sample, 1.0), sample.back());
+  // 101 points: the median is exactly the 51st order statistic.
+  EXPECT_DOUBLE_EQ(QuantileSorted(sample, 0.5), sample[50]);
+}
+
+// Every dataset stand-in materializes at small scale and matches its
+// declared directedness.
+TEST(PropertyTest, AllDatasetStandInsMaterialize) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const Graph g = MakeDataset(spec, /*scale=*/0.02, /*seed=*/7);
+    EXPECT_GT(g.num_nodes(), 0u) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+    if (!spec.directed) {
+      for (NodeId v = 0; v < g.num_nodes(); v += 53) {
+        ASSERT_EQ(g.OutDegree(v), g.InDegree(v)) << spec.name;
+      }
+    }
+    EXPECT_GT(spec.paper_nodes, 0.0) << spec.name;
+    EXPECT_GE(spec.sim_hops, 1) << spec.name;
+  }
+}
+
+// ResAcc invariance: r_max_f only trades pushes against walks; the
+// guarantee (and rough magnitude of error) is invariant.
+TEST(PropertyTest, RMaxFTradesPushesForWalks) {
+  const Graph g = ChungLuPowerLaw(500, 4000, 2.2, 6);
+  RwrConfig config = RwrConfig::ForGraphSize(500);
+  config.dangling = DanglingPolicy::kAbsorb;
+
+  auto run = [&](Score r_max_f) {
+    ResAccOptions options;
+    options.r_max_f = r_max_f;
+    ResAccSolver solver(g, config, options);
+    solver.Query(0);
+    return std::make_pair(
+        solver.last_stats().omfwd_push.push_operations,
+        solver.last_stats().remedy.walks);
+  };
+  const auto [pushes_tight, walks_tight] = run(1e-8);
+  const auto [pushes_loose, walks_loose] = run(1e-4);
+  EXPECT_GT(pushes_tight, pushes_loose);
+  EXPECT_LT(walks_tight, walks_loose);
+}
+
+}  // namespace
+}  // namespace resacc

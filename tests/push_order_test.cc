@@ -1,0 +1,97 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "resacc/core/forward_push.h"
+#include "resacc/core/push_state.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig TestConfig(DanglingPolicy policy) {
+  RwrConfig config;
+  config.alpha = 0.2;
+  config.dangling = policy;
+  return config;
+}
+
+class PushOrderTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, DanglingPolicy>> {};
+
+// Both work-list policies must land in the same terminal condition: mass
+// conserved, every node below the push threshold. (The *values* differ —
+// push results depend on processing order — but both satisfy the same
+// invariant, which is all the algorithms rely on.)
+TEST_P(PushOrderTest, BothOrdersReachQuiescence) {
+  const auto [seed, policy] = GetParam();
+  const Graph g = ChungLuPowerLaw(300, 1800, 2.2, seed);
+  const RwrConfig config = TestConfig(policy);
+  const Score r_max = 1e-6;
+
+  for (PushOrder order : {PushOrder::kFifo, PushOrder::kMaxResidueFirst}) {
+    PushState state(g.num_nodes());
+    state.SetResidue(0, 1.0);
+    const NodeId seeds[] = {NodeId{0}};
+    RunForwardSearch(g, config, 0, r_max, seeds,
+                     /*push_seeds_unconditionally=*/false, state, order);
+    EXPECT_NEAR(state.ReserveSum() + state.ResidueSum(), 1.0, 1e-12);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_FALSE(SatisfiesPushCondition(g, state, v, r_max))
+          << "order=" << static_cast<int>(order) << " node " << v;
+    }
+  }
+}
+
+// Documented negative result (see PushOrder in forward_push.h): a strict
+// max-residue-first discipline is *worse* than FIFO on these graphs —
+// FIFO's level-synchronous wavefronts let a node collect from its whole
+// in-frontier before being popped, while the greedy heap re-pushes hub
+// nodes repeatedly. This test pins the measured relationship so a future
+// "optimization" to max-first gets flagged.
+TEST_P(PushOrderTest, FifoPushesNoMoreThanMaxFirst) {
+  const auto [seed, policy] = GetParam();
+  const Graph g = ChungLuPowerLaw(400, 2400, 2.2, seed);
+  const RwrConfig config = TestConfig(policy);
+  const Score r_max = 1e-7;
+  const NodeId seeds[] = {NodeId{0}};
+
+  PushState fifo_state(g.num_nodes());
+  fifo_state.SetResidue(0, 1.0);
+  const PushStats fifo = RunForwardSearch(g, config, 0, r_max, seeds, false,
+                                          fifo_state, PushOrder::kFifo);
+
+  PushState max_state(g.num_nodes());
+  max_state.SetResidue(0, 1.0);
+  const PushStats max_first = RunForwardSearch(
+      g, config, 0, r_max, seeds, false, max_state,
+      PushOrder::kMaxResidueFirst);
+
+  EXPECT_LE(fifo.push_operations, max_first.push_operations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PushOrderTest,
+    ::testing::Combine(::testing::Values(2u, 19u, 77u),
+                       ::testing::Values(DanglingPolicy::kAbsorb,
+                                         DanglingPolicy::kBackToSource)));
+
+TEST(PushOrderTest, SeedsPushedUnconditionallyInMaxFirstMode) {
+  // A seed far below the threshold must still be pushed exactly once.
+  const Graph g = testing::CycleGraph(6);
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  PushState state(g.num_nodes());
+  state.SetResidue(2, 1e-9);
+  const NodeId seeds[] = {NodeId{2}};
+  const PushStats stats = RunForwardSearch(
+      g, config, 0, /*r_max=*/1.0, seeds,
+      /*push_seeds_unconditionally=*/true, state,
+      PushOrder::kMaxResidueFirst);
+  EXPECT_EQ(stats.push_operations, 1u);
+  EXPECT_DOUBLE_EQ(state.residue(2), 0.0);
+  EXPECT_GT(state.residue(3), 0.0);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,101 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/inverse.h"
+#include "resacc/core/seed_set_query.h"
+#include "resacc/eval/community_metrics.h"
+#include "resacc/graph/generators.h"
+#include "resacc/nise/nise.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig Config(NodeId n) {
+  RwrConfig config = RwrConfig::ForGraphSize(n);
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.p_f = 1e-7;
+  config.seed = 31;
+  return config;
+}
+
+// By linearity of the chain, a uniform-start query equals the average of
+// the per-seed RWR vectors.
+TEST(SeedSetQueryTest, EqualsAverageOfPerSeedQueries) {
+  const Graph g = ErdosRenyi(200, 1200, 6);
+  const RwrConfig config = Config(g.num_nodes());
+  const std::vector<NodeId> seeds = {3, 50, 120};
+
+  ExactInverse oracle(g, config);
+  std::vector<Score> expected(g.num_nodes(), 0.0);
+  for (NodeId seed : seeds) {
+    const std::vector<Score> from_seed = oracle.Query(seed);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      expected[v] += from_seed[v] / static_cast<Score>(seeds.size());
+    }
+  }
+
+  Rng rng(9);
+  const SeedSetQueryResult result =
+      SeedSetSsrwr(g, config, seeds, /*r_max=*/0.0, rng);
+
+  // The guarantee: relative error <= eps above delta, and a distribution.
+  Score total = 0.0;
+  for (Score s : result.scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (expected[v] > config.delta) {
+      EXPECT_LE(std::abs(result.scores[v] - expected[v]) / expected[v],
+                config.epsilon)
+          << "node " << v;
+    }
+  }
+}
+
+TEST(SeedSetQueryTest, SingleSeedMatchesSingleSource) {
+  const Graph g = testing::Figure3Graph();
+  const RwrConfig config = Config(3);
+  ExactInverse oracle(g, config);
+  const std::vector<Score> exact = oracle.Query(0);
+
+  Rng rng(4);
+  const SeedSetQueryResult result =
+      SeedSetSsrwr(g, config, {0}, /*r_max=*/1e-8, rng);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(result.scores[v], exact[v], 1e-4) << "node " << v;
+  }
+}
+
+TEST(SeedSetQueryTest, DuplicateSeedsWeightTheStart) {
+  // {0, 0, 1}: node 0 carries 2/3 of the start mass.
+  const Graph g = testing::CycleGraph(8);
+  const RwrConfig config = Config(8);
+  ExactInverse oracle(g, config);
+  const std::vector<Score> from0 = oracle.Query(0);
+  const std::vector<Score> from1 = oracle.Query(1);
+
+  Rng rng(5);
+  const SeedSetQueryResult result =
+      SeedSetSsrwr(g, config, {0, 0, 1}, /*r_max=*/1e-9, rng);
+  for (NodeId v = 0; v < 8; ++v) {
+    const Score expected = (2.0 * from0[v] + from1[v]) / 3.0;
+    EXPECT_NEAR(result.scores[v], expected, 1e-4) << "node " << v;
+  }
+}
+
+TEST(NiseInflatedTest, ProducesGoodCommunities) {
+  const Graph g = PlantedPartition(800, 8, 14.0, 1.0, 12);
+  const RwrConfig config = Config(g.num_nodes());
+  NiseOptions options;
+  options.num_communities = 8;
+  options.propagate_uncovered = false;
+
+  const NiseResult result = Nise(g, options).DetectInflated(config);
+  ASSERT_GE(result.communities.size(), 6u);
+  EXPECT_LT(AverageConductance(g, result.communities), 0.25);
+  EXPECT_GT(result.ssrwr_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace resacc

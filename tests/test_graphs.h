@@ -1,0 +1,59 @@
+#ifndef RESACC_TESTS_TEST_GRAPHS_H_
+#define RESACC_TESTS_TEST_GRAPHS_H_
+
+#include <utility>
+#include <vector>
+
+#include "resacc/graph/graph.h"
+#include "resacc/graph/graph_builder.h"
+
+namespace resacc::testing {
+
+// The running-example graph of the paper's Figure 1:
+//   v1 -> v2, v1 -> v3, v2 -> v4, v3 -> v2; v4 is a sink.
+// Node ids: v1=0, v2=1, v3=2, v4=3.
+inline Graph Figure1Graph() {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 1);
+  return std::move(builder).Build();
+}
+
+// The looping-phenomenon graph of Figure 3: the directed triangle
+// s -> v1 -> v2 -> s. Node ids: s=0, v1=1, v2=2.
+inline Graph Figure3Graph() {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  return std::move(builder).Build();
+}
+
+// Directed cycle of n nodes.
+inline Graph CycleGraph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  return std::move(builder).Build();
+}
+
+// Star: hub 0 <-> each leaf (symmetrized).
+inline Graph StarGraph(NodeId leaves) {
+  GraphBuilder builder(leaves + 1, /*symmetrize=*/true);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) builder.AddEdge(0, leaf);
+  return std::move(builder).Build();
+}
+
+// Explicit edge list helper.
+inline Graph FromEdges(NodeId n,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges,
+                       bool symmetrize = false) {
+  GraphBuilder builder(n, symmetrize);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).Build();
+}
+
+}  // namespace resacc::testing
+
+#endif  // RESACC_TESTS_TEST_GRAPHS_H_

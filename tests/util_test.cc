@@ -1,0 +1,204 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/util/alias_table.h"
+#include "resacc/util/env.h"
+#include "resacc/util/rng.h"
+#include "resacc/util/stats.h"
+#include "resacc/util/status.h"
+#include "resacc/util/table.h"
+#include "resacc/util/top_k.h"
+
+namespace resacc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRangeAndCoversAll) {
+  Rng rng(3);
+  std::vector<int> histogram(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const std::uint64_t x = rng.NextBounded(7);
+    ASSERT_LT(x, 7u);
+    ++histogram[x];
+  }
+  for (int count : histogram) EXPECT_GT(count, 700);  // ~1000 expected
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.2, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentButReproducibleStreams) {
+  const Rng base(99);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  EXPECT_NE(fork1.Next(), fork2.Next());
+  // Forking again with the same stream id reproduces the stream exactly.
+  Rng fork1_a = base.Fork(1);
+  Rng fork1_b = base.Fork(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fork1_a.Next(), fork1_b.Next());
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(5);
+  std::vector<int> histogram(4, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++histogram[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(histogram[i] / static_cast<double>(trials), expected, 0.01)
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  AliasTable table({3.5});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const SampleSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  const SampleSummary one = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.min, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 10.0);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  RunningStat rs;
+  std::vector<double> values = {2.5, -1.0, 7.0, 3.25, 0.0};
+  for (double v : values) rs.Add(v);
+  const SampleSummary batch = Summarize(values);
+  EXPECT_NEAR(rs.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), batch.stddev, 1e-12);
+}
+
+TEST(TopKTest, OrdersByScoreThenId) {
+  const std::vector<Score> scores = {0.5, 0.9, 0.5, 0.1};
+  const std::vector<NodeId> top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 0u);  // ties break toward lower id
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopKTest, KLargerThanSize) {
+  const std::vector<Score> scores = {0.2, 0.8};
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 2u);
+}
+
+TEST(TopKTest, PairsCarryScores) {
+  const auto pairs = TopKPairs({0.1, 0.3, 0.2}, 2);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].second, 0.3);
+}
+
+TEST(StatusTest, OkAndErrorRendering) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AlignsColumns) {
+  TextTable table({"a", "bb"});
+  table.AddRow({"xxx", "y"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("a    bb"), std::string::npos);
+  EXPECT_NE(out.find("xxx  y"), std::string::npos);
+}
+
+TEST(TableTest, FormattersProduceReadableUnits) {
+  EXPECT_EQ(FmtSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FmtSeconds(0.002), "2.000 ms");
+  EXPECT_EQ(FmtBytes(1536.0), "1.54 KB");
+  EXPECT_EQ(FmtBytes(2.5e9), "2.50 GB");
+  EXPECT_EQ(Fmt(1.5e-9), "1.500e-09");
+}
+
+TEST(EnvTest, ParsesAndDefaults) {
+  ::setenv("RESACC_TEST_ENV_D", "2.5", 1);
+  ::setenv("RESACC_TEST_ENV_I", "42", 1);
+  ::setenv("RESACC_TEST_ENV_BAD", "oops", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("RESACC_TEST_ENV_D", 1.0), 2.5);
+  EXPECT_EQ(GetEnvInt("RESACC_TEST_ENV_I", 7), 42);
+  EXPECT_EQ(GetEnvInt("RESACC_TEST_ENV_BAD", 7), 7);
+  EXPECT_EQ(GetEnvInt("RESACC_TEST_ENV_UNSET", 9), 9);
+  EXPECT_EQ(GetEnvString("RESACC_TEST_ENV_UNSET", "dft"), "dft");
+}
+
+}  // namespace
+}  // namespace resacc

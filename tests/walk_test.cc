@@ -1,0 +1,174 @@
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/inverse.h"
+#include "resacc/core/forward_push.h"
+#include "resacc/core/random_walk.h"
+#include "resacc/core/remedy.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+using ::resacc::testing::Figure1Graph;
+using ::resacc::testing::Figure3Graph;
+
+RwrConfig TestConfig(DanglingPolicy policy) {
+  RwrConfig config;
+  config.alpha = 0.2;
+  config.dangling = policy;
+  config.seed = 2024;
+  return config;
+}
+
+class WalkDistributionTest
+    : public ::testing::TestWithParam<DanglingPolicy> {};
+
+// The empirical terminal distribution of the walk engine must match the
+// exact RWR values — this pins the walk semantics to the linear-algebra
+// semantics for both dangling policies (Figure 1's graph has a sink).
+TEST_P(WalkDistributionTest, TerminalFrequenciesMatchExact) {
+  const DanglingPolicy policy = GetParam();
+  const Graph g = Figure1Graph();
+  const RwrConfig config = TestConfig(policy);
+  ExactInverse oracle(g, config);
+  const std::vector<Score> exact = oracle.Query(0);
+
+  Rng rng(config.seed);
+  WalkStats stats;
+  const int walks = 400000;
+  std::vector<double> frequency(g.num_nodes(), 0.0);
+  for (int i = 0; i < walks; ++i) {
+    ++frequency[RandomWalkTerminal(g, config, /*restart_node=*/0,
+                                   /*start=*/0, rng, stats)];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(frequency[v] / walks, exact[v], 0.005) << "node " << v;
+  }
+  EXPECT_EQ(stats.walks, static_cast<std::uint64_t>(walks));
+  EXPECT_GT(stats.steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, WalkDistributionTest,
+                         ::testing::Values(DanglingPolicy::kAbsorb,
+                                           DanglingPolicy::kBackToSource));
+
+TEST(WalkTest, ExpectedLengthIsOneOverAlpha) {
+  // On a cycle (no dangling), steps per walk ~ geometric with mean
+  // (1-alpha)/alpha; the expected number of *nodes visited* is 1/alpha.
+  const Graph g = testing::CycleGraph(16);
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  Rng rng(7);
+  WalkStats stats;
+  const int walks = 200000;
+  for (int i = 0; i < walks; ++i) {
+    RandomWalkTerminal(g, config, 0, 0, rng, stats);
+  }
+  const double mean_steps =
+      static_cast<double>(stats.steps) / static_cast<double>(walks);
+  EXPECT_NEAR(mean_steps, (1.0 - config.alpha) / config.alpha, 0.05);
+}
+
+TEST(RemedyTest, ExactlyRedistributesResidueMass) {
+  const Graph g = Figure3Graph();
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  const NodeId seeds[] = {NodeId{0}};
+  RunForwardSearch(g, config, 0, /*r_max=*/0.05, seeds, false, state);
+  const Score residue_sum = state.ResidueSum();
+  ASSERT_GT(residue_sum, 0.0);
+
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) scores[v] = state.reserve(v);
+  Rng rng(1);
+  const RemedyStats stats = RunRemedy(g, config, 0, state, rng, scores);
+
+  // Each walk deposits residue/n_r(v); n_r(v) walks run, so the total mass
+  // added is exactly the residue sum — scores must sum to 1 (tolerance
+  // covers float accumulation over millions of tiny deposits).
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-8);
+  EXPECT_GT(stats.walks, 0u);
+  EXPECT_NEAR(stats.residue_sum, residue_sum, 1e-15);
+}
+
+TEST(RemedyTest, ProducesAccurateScores) {
+  const Graph g = ErdosRenyi(200, 1000, 3);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1.0 / 200.0;
+  config.p_f = 1e-6;
+  config.epsilon = 0.5;
+
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  const NodeId seeds[] = {NodeId{0}};
+  RunForwardSearch(g, config, 0, /*r_max=*/1e-4, seeds, false, state);
+
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  for (NodeId v : state.touched()) scores[v] = state.reserve(v);
+  Rng rng(9);
+  RunRemedy(g, config, 0, state, rng, scores);
+
+  ExactInverse oracle(g, config);
+  const std::vector<Score> exact = oracle.Query(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (exact[v] > config.delta) {
+      EXPECT_LE(std::abs(scores[v] - exact[v]) / exact[v], config.epsilon)
+          << "node " << v;
+    }
+  }
+}
+
+TEST(RemedyTest, UnbiasedAcrossRuns) {
+  const Graph g = Figure3Graph();
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  const NodeId seeds[] = {NodeId{0}};
+  RunForwardSearch(g, config, 0, /*r_max=*/0.2, seeds, false, state);
+
+  ExactInverse oracle(g, config);
+  const std::vector<Score> exact = oracle.Query(0);
+
+  // Theorem 1: E[pi_hat] = pi. Average many independent remedy runs with
+  // few walks each; the average must converge to the exact values.
+  std::vector<double> mean(g.num_nodes(), 0.0);
+  const int runs = 4000;
+  Rng rng(77);
+  for (int run = 0; run < runs; ++run) {
+    std::vector<Score> scores(g.num_nodes(), 0.0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) scores[v] = state.reserve(v);
+    RunRemedy(g, config, 0, state, rng, scores, /*walk_scale=*/1e-6);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) mean[v] += scores[v];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(mean[v] / runs, exact[v], 0.01) << "node " << v;
+  }
+}
+
+TEST(RemedyTest, TimeBudgetStopsEarly) {
+  const Graph g = ErdosRenyi(500, 2500, 5);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1e-7;  // enormous walk demand
+  config.p_f = 1e-9;
+
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  const NodeId seeds[] = {NodeId{0}};
+  RunForwardSearch(g, config, 0, /*r_max=*/1e-2, seeds, false, state);
+
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  Rng rng(2);
+  const RemedyStats stats =
+      RunRemedy(g, config, 0, state, rng, scores, 1.0,
+                /*time_budget_seconds=*/1e-9);
+  EXPECT_TRUE(stats.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,315 @@
+// resacc — command-line front end for the library.
+//
+//   resacc generate --type=chunglu --nodes=100000 --edges=1000000 out.bin
+//   resacc stats graph.txt
+//   resacc query graph.txt --source=42 --topk=10 [--algo=resacc]
+//   resacc msrwr graph.txt --sources=1,2,3 [--threads=4]
+//   resacc communities graph.txt --count=50
+//   resacc convert graph.txt graph.bin
+//
+// Graph files ending in .bin use the binary format; anything else is read
+// as a SNAP-style edge list. `--undirected` symmetrizes on load.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "resacc/algo/fora.h"
+#include "resacc/algo/fora_plus.h"
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/algo/power.h"
+#include "resacc/algo/topppr.h"
+#include "resacc/algo/tpa.h"
+#include "resacc/core/parallel_msrwr.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/community_metrics.h"
+#include "resacc/graph/datasets.h"
+#include "resacc/graph/generators.h"
+#include "resacc/graph/graph_io.h"
+#include "resacc/graph/graph_stats.h"
+#include "resacc/nise/nise.h"
+#include "resacc/util/args.h"
+#include "resacc/util/table.h"
+#include "resacc/util/timer.h"
+#include "resacc/util/top_k.h"
+
+namespace {
+
+using namespace resacc;
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+}
+
+StatusOr<Graph> LoadAny(const std::string& path, bool undirected) {
+  if (IsBinaryPath(path)) return LoadBinary(path);
+  return LoadEdgeList(path, undirected);
+}
+
+Status SaveAny(const Graph& graph, const std::string& path) {
+  if (IsBinaryPath(path)) return SaveBinary(graph, path);
+  return SaveEdgeList(graph, path);
+}
+
+std::unique_ptr<SsrwrAlgorithm> MakeSolver(const std::string& name,
+                                           const Graph& graph,
+                                           const RwrConfig& config) {
+  if (name == "resacc") {
+    return std::make_unique<ResAccSolver>(graph, config, ResAccOptions{});
+  }
+  if (name == "fora") return std::make_unique<Fora>(graph, config);
+  if (name == "mc") return std::make_unique<MonteCarlo>(graph, config);
+  if (name == "power") {
+    return std::make_unique<PowerIteration>(graph, config);
+  }
+  if (name == "topppr") return std::make_unique<TopPpr>(graph, config);
+  if (name == "fora+") {
+    auto solver = std::make_unique<ForaPlus>(graph, config);
+    const Status status = solver->BuildIndex();
+    if (!status.ok()) {
+      std::fprintf(stderr, "FORA+ index: %s\n", status.ToString().c_str());
+      return nullptr;
+    }
+    return solver;
+  }
+  if (name == "tpa") {
+    auto solver = std::make_unique<Tpa>(graph, config);
+    const Status status = solver->BuildIndex();
+    if (!status.ok()) {
+      std::fprintf(stderr, "TPA index: %s\n", status.ToString().c_str());
+      return nullptr;
+    }
+    return solver;
+  }
+  std::fprintf(stderr,
+               "unknown --algo=%s (want resacc|fora|fora+|mc|power|topppr|"
+               "tpa)\n",
+               name.c_str());
+  return nullptr;
+}
+
+RwrConfig ConfigFromArgs(const ArgParser& args, const Graph& graph) {
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.alpha = args.GetDouble("alpha", config.alpha);
+  config.epsilon = args.GetDouble("epsilon", config.epsilon);
+  config.delta = args.GetDouble("delta", config.delta);
+  config.p_f = args.GetDouble("pf", config.p_f);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0x5eed));
+  if (args.GetString("dangling", "absorb") == "source") {
+    config.dangling = DanglingPolicy::kBackToSource;
+  } else {
+    config.dangling = DanglingPolicy::kAbsorb;
+  }
+  return config;
+}
+
+int CmdGenerate(const ArgParser& args) {
+  if (args.positionals().size() < 2) {
+    std::fprintf(stderr, "usage: resacc generate --type=... <out>\n");
+    return 2;
+  }
+  const std::string type = args.GetString("type", "chunglu");
+  const NodeId n = static_cast<NodeId>(args.GetInt("nodes", 10000));
+  const EdgeId m = static_cast<EdgeId>(args.GetInt("edges", 100000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 42));
+
+  Graph graph;
+  if (type == "chunglu") {
+    graph = ChungLuPowerLaw(n, m, args.GetDouble("exponent", 2.2), seed,
+                            args.HasFlag("undirected"));
+  } else if (type == "er") {
+    graph = ErdosRenyi(n, m, seed, args.HasFlag("undirected"));
+  } else if (type == "ba") {
+    graph = BarabasiAlbert(n, static_cast<NodeId>(args.GetInt("attach", 3)),
+                           seed);
+  } else if (type == "ws") {
+    graph = WattsStrogatz(n, static_cast<NodeId>(args.GetInt("k", 4)),
+                          args.GetDouble("beta", 0.1), seed);
+  } else if (type == "sbm") {
+    graph = PlantedPartition(
+        n, static_cast<NodeId>(args.GetInt("blocks", 10)),
+        args.GetDouble("deg-in", 10.0), args.GetDouble("deg-out", 2.0), seed);
+  } else if (type == "dataset") {
+    const StatusOr<DatasetSpec> spec =
+        FindDataset(args.GetString("name", "dblp-sim"));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    graph = MakeDataset(spec.value(), args.GetDouble("scale", 1.0), seed);
+  } else {
+    std::fprintf(stderr, "unknown --type=%s\n", type.c_str());
+    return 2;
+  }
+
+  const std::string& out = args.positionals()[1];
+  const Status status = SaveAny(graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", out.c_str(),
+              ComputeGraphStats(graph).ToString().c_str());
+  return 0;
+}
+
+int CmdStats(const ArgParser& args, const Graph& graph) {
+  std::printf("%s\n", ComputeGraphStats(graph).ToString().c_str());
+  if (args.HasFlag("histogram")) {
+    std::printf("out-degree histogram (log2 buckets):\n");
+    const auto histogram = DegreeHistogramLog2(graph);
+    for (std::size_t bucket = 0; bucket < histogram.size(); ++bucket) {
+      std::printf("  [%7u, %7u): %zu\n", 1u << bucket, 2u << bucket,
+                  histogram[bucket]);
+    }
+  }
+  return 0;
+}
+
+int CmdQuery(const ArgParser& args, const Graph& graph) {
+  const RwrConfig config = ConfigFromArgs(args, graph);
+  const NodeId source = static_cast<NodeId>(args.GetInt("source", 0));
+  if (source >= graph.num_nodes()) {
+    std::fprintf(stderr, "--source out of range\n");
+    return 2;
+  }
+  auto solver = MakeSolver(args.GetString("algo", "resacc"), graph, config);
+  if (solver == nullptr) return 1;
+
+  Timer timer;
+  const std::vector<Score> scores = solver->Query(source);
+  std::printf("%s query from %u: %s\n", solver->name().c_str(), source,
+              FmtSeconds(timer.ElapsedSeconds()).c_str());
+
+  const std::size_t k = static_cast<std::size_t>(args.GetInt("topk", 10));
+  TextTable table({"rank", "node", "rwr score"});
+  int rank = 1;
+  for (const auto& [node, score] : TopKPairs(scores, k)) {
+    table.AddRow({std::to_string(rank++), std::to_string(node), Fmt(score)});
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+int CmdMsrwr(const ArgParser& args, const Graph& graph) {
+  const RwrConfig config = ConfigFromArgs(args, graph);
+  std::vector<NodeId> sources;
+  for (std::int64_t s : args.GetIntList("sources")) {
+    if (s >= 0 && static_cast<NodeId>(s) < graph.num_nodes()) {
+      sources.push_back(static_cast<NodeId>(s));
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "usage: resacc msrwr <graph> --sources=1,2,3\n");
+    return 2;
+  }
+  const std::size_t threads = static_cast<std::size_t>(
+      args.GetInt("threads", static_cast<std::int64_t>(
+                                 ThreadPool::DefaultThreads())));
+  ThreadPool pool(threads);
+  Timer timer;
+  const auto results = ParallelQueryMany(pool, sources, [&] {
+    return std::make_unique<ResAccSolver>(graph, config, ResAccOptions{});
+  });
+  std::printf("MSRWR over %zu sources on %zu threads: %s\n", sources.size(),
+              threads, FmtSeconds(timer.ElapsedSeconds()).c_str());
+  TextTable table({"source", "top node", "score"});
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto top = TopKPairs(results[i], 1);
+    table.AddRow({std::to_string(sources[i]), std::to_string(top[0].first),
+                  Fmt(top[0].second)});
+  }
+  table.Print(stdout);
+  return 0;
+}
+
+int CmdCommunities(const ArgParser& args, const Graph& graph) {
+  const RwrConfig config = ConfigFromArgs(args, graph);
+  NiseOptions options;
+  options.num_communities =
+      static_cast<std::size_t>(args.GetInt("count", 50));
+  ResAccSolver solver(graph, config, ResAccOptions{});
+  Timer timer;
+  const NiseResult result = Nise(graph, options).Detect(solver);
+  std::printf(
+      "NISE found %zu communities in %s (SSRWR time %s)\n"
+      "avg normalized cut %.4f, avg conductance %.4f\n",
+      result.communities.size(), FmtSeconds(timer.ElapsedSeconds()).c_str(),
+      FmtSeconds(result.ssrwr_seconds).c_str(),
+      AverageNormalizedCut(graph, result.communities),
+      AverageConductance(graph, result.communities));
+  if (args.HasFlag("print")) {
+    for (std::size_t c = 0; c < result.communities.size(); ++c) {
+      std::printf("community %zu (%zu nodes):", c,
+                  result.communities[c].size());
+      for (NodeId v : result.communities[c]) std::printf(" %u", v);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdConvert(const ArgParser& args, const Graph& graph) {
+  if (args.positionals().size() < 3) {
+    std::fprintf(stderr, "usage: resacc convert <in> <out>\n");
+    return 2;
+  }
+  const Status status = SaveAny(graph, args.positionals()[2]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", args.positionals()[2].c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "resacc — index-free Random Walk with Restart queries\n\n"
+      "commands:\n"
+      "  generate --type=chunglu|er|ba|ws|sbm|dataset [opts] <out>\n"
+      "  stats <graph> [--histogram]\n"
+      "  query <graph> --source=N [--algo=resacc|fora|fora+|mc|power|topppr|tpa]\n"
+      "                [--topk=K] [--alpha=A] [--epsilon=E]\n"
+      "  msrwr <graph> --sources=1,2,3 [--threads=T]\n"
+      "  communities <graph> [--count=C] [--print]\n"
+      "  convert <in> <out>\n\n"
+      "graphs: *.bin = resacc binary, otherwise edge-list text\n"
+      "        (--undirected symmetrizes on load)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positionals().empty()) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string& command = args.positionals()[0];
+
+  if (command == "generate") return CmdGenerate(args);
+
+  if (args.positionals().size() < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const StatusOr<Graph> graph =
+      LoadAny(args.positionals()[1], args.HasFlag("undirected"));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "stats") return CmdStats(args, graph.value());
+  if (command == "query") return CmdQuery(args, graph.value());
+  if (command == "msrwr") return CmdMsrwr(args, graph.value());
+  if (command == "communities") return CmdCommunities(args, graph.value());
+  if (command == "convert") return CmdConvert(args, graph.value());
+
+  PrintUsage();
+  return 2;
+}
