@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_13_particle_filtering"
+  "../bench/bench_fig12_13_particle_filtering.pdb"
+  "CMakeFiles/bench_fig12_13_particle_filtering.dir/bench_fig12_13_particle_filtering.cpp.o"
+  "CMakeFiles/bench_fig12_13_particle_filtering.dir/bench_fig12_13_particle_filtering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_particle_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_17_msrwr"
+  "../bench/bench_fig16_17_msrwr.pdb"
+  "CMakeFiles/bench_fig16_17_msrwr.dir/bench_fig16_17_msrwr.cpp.o"
+  "CMakeFiles/bench_fig16_17_msrwr.dir/bench_fig16_17_msrwr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_msrwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

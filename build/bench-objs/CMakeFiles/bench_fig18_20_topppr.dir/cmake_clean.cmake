@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_20_topppr"
+  "../bench/bench_fig18_20_topppr.pdb"
+  "CMakeFiles/bench_fig18_20_topppr.dir/bench_fig18_20_topppr.cpp.o"
+  "CMakeFiles/bench_fig18_20_topppr.dir/bench_fig18_20_topppr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_20_topppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_effect_h"
+  "../bench/bench_fig21_effect_h.pdb"
+  "CMakeFiles/bench_fig21_effect_h.dir/bench_fig21_effect_h.cpp.o"
+  "CMakeFiles/bench_fig21_effect_h.dir/bench_fig21_effect_h.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_effect_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

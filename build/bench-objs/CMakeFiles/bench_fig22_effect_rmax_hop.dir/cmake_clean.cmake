@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_effect_rmax_hop"
+  "../bench/bench_fig22_effect_rmax_hop.pdb"
+  "CMakeFiles/bench_fig22_effect_rmax_hop.dir/bench_fig22_effect_rmax_hop.cpp.o"
+  "CMakeFiles/bench_fig22_effect_rmax_hop.dir/bench_fig22_effect_rmax_hop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_effect_rmax_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_dynamic_update"
+  "../bench/bench_fig23_dynamic_update.pdb"
+  "CMakeFiles/bench_fig23_dynamic_update.dir/bench_fig23_dynamic_update.cpp.o"
+  "CMakeFiles/bench_fig23_dynamic_update.dir/bench_fig23_dynamic_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_dynamic_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_absolute_error"
+  "../bench/bench_fig4_absolute_error.pdb"
+  "CMakeFiles/bench_fig4_absolute_error.dir/bench_fig4_absolute_error.cpp.o"
+  "CMakeFiles/bench_fig4_absolute_error.dir/bench_fig4_absolute_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_absolute_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

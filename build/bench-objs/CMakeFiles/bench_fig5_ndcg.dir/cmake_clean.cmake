@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_ndcg"
+  "../bench/bench_fig5_ndcg.pdb"
+  "CMakeFiles/bench_fig5_ndcg.dir/bench_fig5_ndcg.cpp.o"
+  "CMakeFiles/bench_fig5_ndcg.dir/bench_fig5_ndcg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ndcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_fair_fora"
+  "../bench/bench_fig6_fair_fora.pdb"
+  "CMakeFiles/bench_fig6_fair_fora.dir/bench_fig6_fair_fora.cpp.o"
+  "CMakeFiles/bench_fig6_fair_fora.dir/bench_fig6_fair_fora.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fair_fora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

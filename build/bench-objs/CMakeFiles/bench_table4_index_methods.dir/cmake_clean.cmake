@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_index_methods"
+  "../bench/bench_table4_index_methods.pdb"
+  "CMakeFiles/bench_table4_index_methods.dir/bench_table4_index_methods.cpp.o"
+  "CMakeFiles/bench_table4_index_methods.dir/bench_table4_index_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_index_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_6_community.cpp" "bench-objs/CMakeFiles/bench_table5_6_community.dir/bench_table5_6_community.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_table5_6_community.dir/bench_table5_6_community.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resacc/eval/CMakeFiles/resacc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/algo/CMakeFiles/resacc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/la/CMakeFiles/resacc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/nise/CMakeFiles/resacc_nise.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/core/CMakeFiles/resacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/graph/CMakeFiles/resacc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/util/CMakeFiles/resacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_6_community"
+  "../bench/bench_table5_6_community.pdb"
+  "CMakeFiles/bench_table5_6_community.dir/bench_table5_6_community.cpp.o"
+  "CMakeFiles/bench_table5_6_community.dir/bench_table5_6_community.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_6_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

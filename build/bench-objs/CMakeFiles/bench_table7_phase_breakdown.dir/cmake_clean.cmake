@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_phase_breakdown"
+  "../bench/bench_table7_phase_breakdown.pdb"
+  "CMakeFiles/bench_table7_phase_breakdown.dir/bench_table7_phase_breakdown.cpp.o"
+  "CMakeFiles/bench_table7_phase_breakdown.dir/bench_table7_phase_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

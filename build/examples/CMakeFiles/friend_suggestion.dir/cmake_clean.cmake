@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_suggestion.dir/friend_suggestion.cpp.o"
+  "CMakeFiles/friend_suggestion.dir/friend_suggestion.cpp.o.d"
+  "friend_suggestion"
+  "friend_suggestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_suggestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

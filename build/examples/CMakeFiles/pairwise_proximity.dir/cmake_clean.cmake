@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_proximity.dir/pairwise_proximity.cpp.o"
+  "CMakeFiles/pairwise_proximity.dir/pairwise_proximity.cpp.o.d"
+  "pairwise_proximity"
+  "pairwise_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resacc/algo/bepi.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/bepi.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/bepi.cc.o.d"
+  "/root/repo/src/resacc/algo/bippr.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/bippr.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/bippr.cc.o.d"
+  "/root/repo/src/resacc/algo/fora.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/fora.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/fora.cc.o.d"
+  "/root/repo/src/resacc/algo/fora_plus.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/fora_plus.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/fora_plus.cc.o.d"
+  "/root/repo/src/resacc/algo/forward_search_solver.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/forward_search_solver.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/forward_search_solver.cc.o.d"
+  "/root/repo/src/resacc/algo/inverse.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/inverse.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/inverse.cc.o.d"
+  "/root/repo/src/resacc/algo/monte_carlo.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/monte_carlo.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/resacc/algo/particle_filter.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/particle_filter.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/particle_filter.cc.o.d"
+  "/root/repo/src/resacc/algo/power.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/power.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/power.cc.o.d"
+  "/root/repo/src/resacc/algo/slashburn.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/slashburn.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/slashburn.cc.o.d"
+  "/root/repo/src/resacc/algo/topppr.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/topppr.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/topppr.cc.o.d"
+  "/root/repo/src/resacc/algo/tpa.cc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/tpa.cc.o" "gcc" "src/resacc/algo/CMakeFiles/resacc_algo.dir/tpa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resacc/util/CMakeFiles/resacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/graph/CMakeFiles/resacc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/la/CMakeFiles/resacc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/core/CMakeFiles/resacc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_algo.dir/bepi.cc.o"
+  "CMakeFiles/resacc_algo.dir/bepi.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/bippr.cc.o"
+  "CMakeFiles/resacc_algo.dir/bippr.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/fora.cc.o"
+  "CMakeFiles/resacc_algo.dir/fora.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/fora_plus.cc.o"
+  "CMakeFiles/resacc_algo.dir/fora_plus.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/forward_search_solver.cc.o"
+  "CMakeFiles/resacc_algo.dir/forward_search_solver.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/inverse.cc.o"
+  "CMakeFiles/resacc_algo.dir/inverse.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/monte_carlo.cc.o"
+  "CMakeFiles/resacc_algo.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/particle_filter.cc.o"
+  "CMakeFiles/resacc_algo.dir/particle_filter.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/power.cc.o"
+  "CMakeFiles/resacc_algo.dir/power.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/slashburn.cc.o"
+  "CMakeFiles/resacc_algo.dir/slashburn.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/topppr.cc.o"
+  "CMakeFiles/resacc_algo.dir/topppr.cc.o.d"
+  "CMakeFiles/resacc_algo.dir/tpa.cc.o"
+  "CMakeFiles/resacc_algo.dir/tpa.cc.o.d"
+  "libresacc_algo.a"
+  "libresacc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

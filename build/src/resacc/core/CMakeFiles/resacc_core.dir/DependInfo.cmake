@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resacc/core/backward_push.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/backward_push.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/backward_push.cc.o.d"
+  "/root/repo/src/resacc/core/forward_push.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/forward_push.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/forward_push.cc.o.d"
+  "/root/repo/src/resacc/core/h_hop_fwd.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/h_hop_fwd.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/h_hop_fwd.cc.o.d"
+  "/root/repo/src/resacc/core/omfwd.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/omfwd.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/omfwd.cc.o.d"
+  "/root/repo/src/resacc/core/remedy.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/remedy.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/remedy.cc.o.d"
+  "/root/repo/src/resacc/core/resacc_solver.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/resacc_solver.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/resacc_solver.cc.o.d"
+  "/root/repo/src/resacc/core/seed_set_query.cc" "src/resacc/core/CMakeFiles/resacc_core.dir/seed_set_query.cc.o" "gcc" "src/resacc/core/CMakeFiles/resacc_core.dir/seed_set_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resacc/util/CMakeFiles/resacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/graph/CMakeFiles/resacc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

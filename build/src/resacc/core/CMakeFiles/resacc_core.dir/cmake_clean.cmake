@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_core.dir/backward_push.cc.o"
+  "CMakeFiles/resacc_core.dir/backward_push.cc.o.d"
+  "CMakeFiles/resacc_core.dir/forward_push.cc.o"
+  "CMakeFiles/resacc_core.dir/forward_push.cc.o.d"
+  "CMakeFiles/resacc_core.dir/h_hop_fwd.cc.o"
+  "CMakeFiles/resacc_core.dir/h_hop_fwd.cc.o.d"
+  "CMakeFiles/resacc_core.dir/omfwd.cc.o"
+  "CMakeFiles/resacc_core.dir/omfwd.cc.o.d"
+  "CMakeFiles/resacc_core.dir/remedy.cc.o"
+  "CMakeFiles/resacc_core.dir/remedy.cc.o.d"
+  "CMakeFiles/resacc_core.dir/resacc_solver.cc.o"
+  "CMakeFiles/resacc_core.dir/resacc_solver.cc.o.d"
+  "CMakeFiles/resacc_core.dir/seed_set_query.cc.o"
+  "CMakeFiles/resacc_core.dir/seed_set_query.cc.o.d"
+  "libresacc_core.a"
+  "libresacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_eval.dir/community_metrics.cc.o"
+  "CMakeFiles/resacc_eval.dir/community_metrics.cc.o.d"
+  "CMakeFiles/resacc_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/resacc_eval.dir/ground_truth.cc.o.d"
+  "CMakeFiles/resacc_eval.dir/metrics.cc.o"
+  "CMakeFiles/resacc_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/resacc_eval.dir/sources.cc.o"
+  "CMakeFiles/resacc_eval.dir/sources.cc.o.d"
+  "libresacc_eval.a"
+  "libresacc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

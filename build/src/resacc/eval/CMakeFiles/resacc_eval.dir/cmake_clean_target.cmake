@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresacc_eval.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resacc/graph/components.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/components.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/components.cc.o.d"
+  "/root/repo/src/resacc/graph/datasets.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/datasets.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/resacc/graph/generators.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/generators.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/generators.cc.o.d"
+  "/root/repo/src/resacc/graph/graph.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph.cc.o.d"
+  "/root/repo/src/resacc/graph/graph_builder.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_builder.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/resacc/graph/graph_io.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_io.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/resacc/graph/graph_stats.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_stats.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/resacc/graph/hop_layers.cc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/hop_layers.cc.o" "gcc" "src/resacc/graph/CMakeFiles/resacc_graph.dir/hop_layers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resacc/util/CMakeFiles/resacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

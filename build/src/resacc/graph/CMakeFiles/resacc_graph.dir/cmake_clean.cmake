@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_graph.dir/components.cc.o"
+  "CMakeFiles/resacc_graph.dir/components.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/datasets.cc.o"
+  "CMakeFiles/resacc_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/generators.cc.o"
+  "CMakeFiles/resacc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/graph.cc.o"
+  "CMakeFiles/resacc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/resacc_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/graph_io.cc.o"
+  "CMakeFiles/resacc_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/resacc_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/resacc_graph.dir/hop_layers.cc.o"
+  "CMakeFiles/resacc_graph.dir/hop_layers.cc.o.d"
+  "libresacc_graph.a"
+  "libresacc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

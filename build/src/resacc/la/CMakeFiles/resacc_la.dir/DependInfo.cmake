@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resacc/la/dense_matrix.cc" "src/resacc/la/CMakeFiles/resacc_la.dir/dense_matrix.cc.o" "gcc" "src/resacc/la/CMakeFiles/resacc_la.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/resacc/la/sparse_matrix.cc" "src/resacc/la/CMakeFiles/resacc_la.dir/sparse_matrix.cc.o" "gcc" "src/resacc/la/CMakeFiles/resacc_la.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resacc/util/CMakeFiles/resacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resacc/graph/CMakeFiles/resacc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

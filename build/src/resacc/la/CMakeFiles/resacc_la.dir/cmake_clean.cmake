@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_la.dir/dense_matrix.cc.o"
+  "CMakeFiles/resacc_la.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/resacc_la.dir/sparse_matrix.cc.o"
+  "CMakeFiles/resacc_la.dir/sparse_matrix.cc.o.d"
+  "libresacc_la.a"
+  "libresacc_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresacc_la.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_nise.dir/nise.cc.o"
+  "CMakeFiles/resacc_nise.dir/nise.cc.o.d"
+  "libresacc_nise.a"
+  "libresacc_nise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_nise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resacc/util/alias_table.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/alias_table.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/alias_table.cc.o.d"
+  "/root/repo/src/resacc/util/args.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/args.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/args.cc.o.d"
+  "/root/repo/src/resacc/util/env.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/env.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/env.cc.o.d"
+  "/root/repo/src/resacc/util/logging.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/logging.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/logging.cc.o.d"
+  "/root/repo/src/resacc/util/stats.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/stats.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/stats.cc.o.d"
+  "/root/repo/src/resacc/util/status.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/status.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/status.cc.o.d"
+  "/root/repo/src/resacc/util/table.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/table.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/table.cc.o.d"
+  "/root/repo/src/resacc/util/thread_pool.cc" "src/resacc/util/CMakeFiles/resacc_util.dir/thread_pool.cc.o" "gcc" "src/resacc/util/CMakeFiles/resacc_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

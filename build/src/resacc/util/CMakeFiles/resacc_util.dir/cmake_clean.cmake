@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_util.dir/alias_table.cc.o"
+  "CMakeFiles/resacc_util.dir/alias_table.cc.o.d"
+  "CMakeFiles/resacc_util.dir/args.cc.o"
+  "CMakeFiles/resacc_util.dir/args.cc.o.d"
+  "CMakeFiles/resacc_util.dir/env.cc.o"
+  "CMakeFiles/resacc_util.dir/env.cc.o.d"
+  "CMakeFiles/resacc_util.dir/logging.cc.o"
+  "CMakeFiles/resacc_util.dir/logging.cc.o.d"
+  "CMakeFiles/resacc_util.dir/stats.cc.o"
+  "CMakeFiles/resacc_util.dir/stats.cc.o.d"
+  "CMakeFiles/resacc_util.dir/status.cc.o"
+  "CMakeFiles/resacc_util.dir/status.cc.o.d"
+  "CMakeFiles/resacc_util.dir/table.cc.o"
+  "CMakeFiles/resacc_util.dir/table.cc.o.d"
+  "CMakeFiles/resacc_util.dir/thread_pool.cc.o"
+  "CMakeFiles/resacc_util.dir/thread_pool.cc.o.d"
+  "libresacc_util.a"
+  "libresacc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

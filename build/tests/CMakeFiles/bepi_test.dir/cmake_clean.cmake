@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bepi_test.dir/bepi_test.cc.o"
+  "CMakeFiles/bepi_test.dir/bepi_test.cc.o.d"
+  "bepi_test"
+  "bepi_test.pdb"
+  "bepi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bepi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

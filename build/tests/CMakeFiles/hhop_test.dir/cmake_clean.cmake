@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhop_test.dir/hhop_test.cc.o"
+  "CMakeFiles/hhop_test.dir/hhop_test.cc.o.d"
+  "hhop_test"
+  "hhop_test.pdb"
+  "hhop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nise_test.dir/nise_test.cc.o"
+  "CMakeFiles/nise_test.dir/nise_test.cc.o.d"
+  "nise_test"
+  "nise_test.pdb"
+  "nise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_test.dir/resacc_test.cc.o"
+  "CMakeFiles/resacc_test.dir/resacc_test.cc.o.d"
+  "resacc_test"
+  "resacc_test.pdb"
+  "resacc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

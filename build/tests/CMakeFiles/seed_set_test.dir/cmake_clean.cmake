@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_set_test.dir/seed_set_test.cc.o"
+  "CMakeFiles/seed_set_test.dir/seed_set_test.cc.o.d"
+  "seed_set_test"
+  "seed_set_test.pdb"
+  "seed_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resacc_cli.dir/resacc_cli.cc.o"
+  "CMakeFiles/resacc_cli.dir/resacc_cli.cc.o.d"
+  "resacc"
+  "resacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resacc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

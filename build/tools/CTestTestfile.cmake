@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/resacc" "generate" "--type=sbm" "--nodes=500" "--blocks=5" "/root/repo/build/cli_test_graph.bin")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/resacc" "stats" "/root/repo/build/cli_test_graph.bin" "--histogram")
+set_tests_properties(cli_stats PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query "/root/repo/build/tools/resacc" "query" "/root/repo/build/cli_test_graph.bin" "--source=1" "--topk=5")
+set_tests_properties(cli_query PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query_fora "/root/repo/build/tools/resacc" "query" "/root/repo/build/cli_test_graph.bin" "--source=1" "--algo=fora")
+set_tests_properties(cli_query_fora PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_msrwr "/root/repo/build/tools/resacc" "msrwr" "/root/repo/build/cli_test_graph.bin" "--sources=1,2" "--threads=2")
+set_tests_properties(cli_msrwr PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_communities "/root/repo/build/tools/resacc" "communities" "/root/repo/build/cli_test_graph.bin" "--count=5")
+set_tests_properties(cli_communities PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_convert "/root/repo/build/tools/resacc" "convert" "/root/repo/build/cli_test_graph.bin" "/root/repo/build/cli_test_graph.txt")
+set_tests_properties(cli_convert PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/resacc")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
