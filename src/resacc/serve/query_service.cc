@@ -1,0 +1,243 @@
+#include "resacc/serve/query_service.h"
+
+#include <algorithm>
+
+#include "resacc/util/check.h"
+#include "resacc/util/top_k.h"
+
+namespace resacc {
+namespace {
+
+std::future<QueryResponse> ReadyResponse(QueryResponse response) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const Graph& graph, const RwrConfig& config,
+                           const ServeOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      config_hash_(HashQueryConfig(config, options.solver) ^
+                   options.cache_tag),
+      queue_(std::max<std::size_t>(options.queue_capacity, 1)),
+      cache_(options.cache_bytes,
+             std::max<std::size_t>(options.cache_shards, 1)) {
+  const std::size_t workers = options.num_workers > 0
+                                  ? options.num_workers
+                                  : ThreadPool::DefaultThreads();
+  solvers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    solvers_.push_back(options_.solver_factory
+                           ? options_.solver_factory()
+                           : std::make_unique<ResAccSolver>(
+                                 graph_, config_, options_.solver));
+    RESACC_CHECK(solvers_.back() != nullptr);
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    pool_->Submit([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() { Stop(); }
+
+void QueryService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_.load(std::memory_order_relaxed)) return;
+    stopped_.store(true, std::memory_order_relaxed);
+  }
+  // Close lets the workers drain everything already accepted — queued
+  // requests complete normally rather than being dropped — then Pop
+  // returns false and the worker loops exit.
+  queue_.Close();
+  pool_->Wait();
+}
+
+QueryResponse QueryService::MakeResponse(
+    const std::shared_ptr<const std::vector<Score>>& scores,
+    const Waiter& waiter, const Status& status) const {
+  QueryResponse response;
+  response.status = status;
+  response.coalesced = waiter.coalesced;
+  if (status.ok()) {
+    response.scores = scores;
+    if (waiter.top_k > 0) response.top = TopKPairs(*scores, waiter.top_k);
+  }
+  response.latency_seconds = SecondsSince(waiter.submit_time);
+  return response;
+}
+
+std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
+  const Clock::time_point t0 = Clock::now();
+
+  if (stopped_.load(std::memory_order_relaxed)) {
+    QueryResponse response;
+    response.status = Status::FailedPrecondition("QueryService is stopped");
+    return ReadyResponse(std::move(response));
+  }
+  if (request.source >= graph_.num_nodes()) {
+    QueryResponse response;
+    response.status = Status::InvalidArgument("source out of range");
+    return ReadyResponse(std::move(response));
+  }
+
+  const CacheKey key{config_hash_, request.source};
+  if (ResultCache::Value hit = cache_.Lookup(key)) {
+    Waiter waiter;
+    waiter.top_k = request.top_k;
+    waiter.submit_time = t0;
+    QueryResponse response = MakeResponse(hit, waiter, Status::Ok());
+    response.cache_hit = true;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(response.latency_seconds);
+    return ReadyResponse(std::move(response));
+  }
+
+  Waiter waiter;
+  waiter.top_k = request.top_k;
+  waiter.submit_time = t0;
+  std::future<QueryResponse> future = waiter.promise.get_future();
+
+  const double deadline_seconds = request.deadline_seconds > 0.0
+                                      ? request.deadline_seconds
+                                      : options_.default_deadline_seconds;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_.load(std::memory_order_relaxed)) {
+    waiter.promise.set_value([&] {
+      QueryResponse response;
+      response.status =
+          Status::FailedPrecondition("QueryService is stopped");
+      response.latency_seconds = SecondsSince(t0);
+      return response;
+    }());
+    return future;
+  }
+
+  if (options_.coalesce) {
+    auto it = inflight_.find(request.source);
+    if (it != inflight_.end()) {
+      waiter.coalesced = true;
+      it->second->waiters.push_back(std::move(waiter));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return future;
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->source = request.source;
+  if (deadline_seconds > 0.0) {
+    job->deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(deadline_seconds));
+  }
+  job->waiters.push_back(std::move(waiter));
+
+  if (!queue_.TryPush(job)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse response;
+    response.status = Status::ResourceExhausted(
+        "submission queue full (" + std::to_string(queue_.capacity()) +
+        " pending); retry later");
+    response.latency_seconds = SecondsSince(t0);
+    job->waiters.front().promise.set_value(std::move(response));
+    return future;
+  }
+  if (options_.coalesce) inflight_[request.source] = job;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+QueryResponse QueryService::Query(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+void QueryService::WorkerLoop(std::size_t worker_index) {
+  SsrwrAlgorithm& solver = *solvers_[worker_index];
+  std::shared_ptr<Job> job;
+  while (queue_.Pop(job)) {
+    if (options_.dequeue_hook) options_.dequeue_hook(job->source);
+
+    if (job->deadline != Clock::time_point::max() &&
+        Clock::now() > job->deadline) {
+      FinalizeJob(job, nullptr,
+                  Status::DeadlineExceeded(
+                      "request expired before a worker picked it up"));
+      continue;
+    }
+
+    auto scores = std::make_shared<const std::vector<Score>>(
+        solver.Query(job->source));
+    computed_.fetch_add(1, std::memory_order_relaxed);
+    cache_.Insert(CacheKey{config_hash_, job->source}, scores);
+    FinalizeJob(job, std::move(scores), Status::Ok());
+  }
+}
+
+void QueryService::FinalizeJob(
+    const std::shared_ptr<Job>& job,
+    std::shared_ptr<const std::vector<Score>> scores, const Status& status) {
+  std::vector<Waiter> waiters;
+  {
+    // Retire the in-flight entry before publishing: after this point an
+    // identical Submit either hits the cache (insert precedes Finalize) or
+    // schedules a fresh computation — never attaches to a finished job.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(job->source);
+    if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+    waiters = std::move(job->waiters);
+  }
+  for (Waiter& waiter : waiters) {
+    QueryResponse response = MakeResponse(scores, waiter, status);
+    if (status.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(response.latency_seconds);
+    } else {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    waiter.promise.set_value(std::move(response));
+  }
+}
+
+ServerStats QueryService::Snapshot() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.computed = computed_.load(std::memory_order_relaxed);
+
+  const ResultCache::Counters cache = cache_.counters();
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_bytes = cache.bytes;
+  stats.cache_entries = cache.entries;
+
+  stats.queue_depth = queue_.size();
+  stats.queue_capacity = queue_.capacity();
+  stats.num_workers = solvers_.size();
+
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0.0
+                  ? static_cast<double>(stats.completed) /
+                        stats.uptime_seconds
+                  : 0.0;
+  stats.latency = latency_.TakeSnapshot();
+  return stats;
+}
+
+}  // namespace resacc

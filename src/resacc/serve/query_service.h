@@ -1,0 +1,190 @@
+#ifndef RESACC_SERVE_QUERY_SERVICE_H_
+#define RESACC_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "resacc/core/resacc_solver.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/graph/graph.h"
+#include "resacc/serve/result_cache.h"
+#include "resacc/serve/server_stats.h"
+#include "resacc/util/bounded_queue.h"
+#include "resacc/util/histogram.h"
+#include "resacc/util/status.h"
+#include "resacc/util/thread_pool.h"
+#include "resacc/util/timer.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Configuration of a QueryService instance.
+struct ServeOptions {
+  // Worker threads, each owning a private solver instance (the
+  // parallel_msrwr pattern: solvers keep per-query workspaces and are not
+  // thread-safe). 0 means ThreadPool::DefaultThreads().
+  std::size_t num_workers = 0;
+
+  // Capacity of the submission queue. A Submit that finds the queue full
+  // fails fast with kResourceExhausted — backpressure is explicit, never a
+  // silent drop or an unbounded buffer.
+  std::size_t queue_capacity = 1024;
+
+  // Byte budget of the result cache (score payload bytes); 0 disables
+  // caching.
+  std::size_t cache_bytes = static_cast<std::size_t>(64) << 20;
+  std::size_t cache_shards = 8;
+
+  // Single-flight: concurrent requests for a source already queued or
+  // computing attach to that computation instead of enqueuing a duplicate.
+  bool coalesce = true;
+
+  // Deadline applied to requests that do not set one; 0 means none. A
+  // request whose deadline passes while it waits in the queue completes
+  // with kDeadlineExceeded instead of occupying a worker.
+  double default_deadline_seconds = 0.0;
+
+  // Solver knobs shared by every worker.
+  ResAccOptions solver;
+
+  // Optional solver factory for serving a non-ResAcc backend. Every
+  // instance must be deterministic per source and configured identically,
+  // or caching/coalescing would conflate different answers; set cache_tag
+  // to a value identifying the backend + its configuration.
+  std::function<std::unique_ptr<SsrwrAlgorithm>()> solver_factory;
+  std::uint64_t cache_tag = 0;
+
+  // Observability/test hook, invoked on the worker thread right after a
+  // job is dequeued (before the deadline check and the solver call).
+  std::function<void(NodeId)> dequeue_hook;
+};
+
+struct QueryRequest {
+  NodeId source = 0;
+  // 0 returns the full score vector only; k > 0 additionally fills
+  // QueryResponse::top with the k best (node, score) pairs.
+  std::size_t top_k = 0;
+  // Relative deadline from submission; 0 falls back to the service
+  // default. Coalesced requests share the leader's deadline.
+  double deadline_seconds = 0.0;
+};
+
+struct QueryResponse {
+  Status status;
+  // Full RWR vector, shared with the cache (immutable; eviction never
+  // invalidates it). Null unless status.ok().
+  std::shared_ptr<const std::vector<Score>> scores;
+  // Top-k pairs, descending score; filled when the request set top_k.
+  std::vector<std::pair<NodeId, Score>> top;
+
+  bool cache_hit = false;
+  bool coalesced = false;
+  // Submit-to-completion wall seconds as observed by this client.
+  double latency_seconds = 0.0;
+};
+
+// Long-lived, thread-safe serving front-end over the index-free solver —
+// the property that makes serving attractive here: there is no index to
+// rebuild, so a service is just workers + graph, ready at construction.
+//
+// Lifecycle: construct (spins up workers) -> Submit/Query from any number
+// of client threads -> Stop (drains the queue, joins workers; also run by
+// the destructor). After Stop, Submit fails with kFailedPrecondition.
+//
+// Determinism: workers run identically-configured solvers whose randomness
+// is forked per source (resacc_solver.cc), so a response is bit-identical
+// to a fresh single-threaded ResAccSolver::Query with the same config —
+// regardless of which worker ran it, of interleaving, and of whether it
+// was served from the cache or a coalesced computation.
+class QueryService {
+ public:
+  QueryService(const Graph& graph, const RwrConfig& config,
+               const ServeOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Non-blocking submission. The returned future always becomes ready:
+  // with scores, or with a non-OK status (kResourceExhausted on queue
+  // overflow, kDeadlineExceeded on expiry, kInvalidArgument,
+  // kFailedPrecondition after Stop).
+  std::future<QueryResponse> Submit(const QueryRequest& request);
+
+  // Blocking convenience wrapper around Submit.
+  QueryResponse Query(const QueryRequest& request);
+
+  ServerStats Snapshot() const;
+
+  // Drains queued work, stops the workers. Idempotent, thread-safe.
+  void Stop();
+
+  std::size_t num_workers() const { return solvers_.size(); }
+  const Graph& graph() const { return graph_; }
+  const RwrConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    std::promise<QueryResponse> promise;
+    std::size_t top_k = 0;
+    Clock::time_point submit_time;
+    bool coalesced = false;
+  };
+
+  // One scheduled computation; coalesced requests append Waiters.
+  struct Job {
+    NodeId source = 0;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::vector<Waiter> waiters;
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  // Publishes `scores`/`status` to every waiter and retires the job from
+  // the in-flight table.
+  void FinalizeJob(const std::shared_ptr<Job>& job,
+                   std::shared_ptr<const std::vector<Score>> scores,
+                   const Status& status);
+  QueryResponse MakeResponse(
+      const std::shared_ptr<const std::vector<Score>>& scores,
+      const Waiter& waiter, const Status& status) const;
+
+  const Graph& graph_;
+  const RwrConfig config_;
+  const ServeOptions options_;
+  const std::uint64_t config_hash_;
+
+  std::vector<std::unique_ptr<SsrwrAlgorithm>> solvers_;
+  BoundedQueue<std::shared_ptr<Job>> queue_;
+  ResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Guards inflight_; never held during a solver call. stopped_ is also
+  // only written under it, but read lock-free for the Submit fast path.
+  mutable std::mutex mutex_;
+  std::unordered_map<NodeId, std::shared_ptr<Job>> inflight_;
+  std::atomic<bool> stopped_{false};
+
+  Timer uptime_;
+  LatencyHistogram latency_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> computed_{0};
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_SERVE_QUERY_SERVICE_H_

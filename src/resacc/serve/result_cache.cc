@@ -1,0 +1,122 @@
+#include "resacc/serve/result_cache.h"
+
+#include <cstring>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+namespace {
+
+void HashBytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+}
+
+template <typename T>
+void HashValue(std::uint64_t& h, const T& value) {
+  HashBytes(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+std::uint64_t HashQueryConfig(const RwrConfig& config,
+                              const ResAccOptions& options) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  HashValue(h, config.alpha);
+  HashValue(h, config.epsilon);
+  HashValue(h, config.delta);
+  HashValue(h, config.p_f);
+  HashValue(h, static_cast<int>(config.dangling));
+  HashValue(h, config.seed);
+  HashValue(h, options.r_max_hop);
+  HashValue(h, options.r_max_f);
+  HashValue(h, options.num_hops);
+  HashValue(h, options.max_hop_set_fraction);
+  HashValue(h, options.walk_scale);
+  HashValue(h, options.use_loop_accumulation);
+  HashValue(h, options.use_hop_subgraph);
+  HashValue(h, options.use_omfwd);
+  return h;
+}
+
+ResultCache::ResultCache(std::size_t max_bytes, std::size_t num_shards)
+    : max_bytes_(max_bytes) {
+  RESACC_CHECK(num_shards >= 1);
+  shard_budget_ = max_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Value ResultCache::Lookup(const CacheKey& key) {
+  if (max_bytes_ == 0) return nullptr;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Insert(const CacheKey& key, Value value) {
+  if (max_bytes_ == 0 || value == nullptr) return;
+  const std::size_t bytes = value->size() * sizeof(Score);
+  if (bytes > shard_budget_) return;  // would evict the whole shard for one
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.bytes += bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  Counters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.bytes += shard->bytes;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace resacc

@@ -1,0 +1,124 @@
+#ifndef RESACC_SERVE_RESULT_CACHE_H_
+#define RESACC_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "resacc/core/resacc_solver.h"
+#include "resacc/core/rwr_config.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Cache key: the query source plus a hash of everything else that
+// determines the answer (RwrConfig + ResAccOptions, including the seed —
+// the solver is deterministic given those). Two services with different
+// configurations can therefore share one cache without cross-talk.
+struct CacheKey {
+  std::uint64_t config_hash = 0;
+  NodeId source = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return config_hash == other.config_hash && source == other.source;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    std::uint64_t h = key.config_hash ^
+                      (static_cast<std::uint64_t>(key.source) + 1) *
+                          0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// FNV-1a over the numeric fields of the query configuration; the cache key
+// half that makes cached vectors safe to reuse across service restarts.
+std::uint64_t HashQueryConfig(const RwrConfig& config,
+                              const ResAccOptions& options);
+
+// Sharded LRU cache of full RWR score vectors under a global byte budget.
+//
+// Values are shared immutable vectors: a hit hands out the same
+// shared_ptr the computing worker inserted, so eviction never invalidates
+// a response a client still holds. Sharding (key-hash modulo) keeps the
+// LRU mutex off the serving hot path's critical section — each shard has
+// its own lock and an equal slice of the byte budget.
+//
+// Thread-safe. Byte accounting counts the score payload only (n *
+// sizeof(Score) per entry); an entry larger than a shard's budget is
+// simply not cached.
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<Score>>;
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+
+  // max_bytes == 0 disables caching entirely (Lookup always misses).
+  ResultCache(std::size_t max_bytes, std::size_t num_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached vector (marking the entry most-recently-used) or
+  // nullptr on miss.
+  Value Lookup(const CacheKey& key);
+
+  // Inserts or refreshes `value`, evicting LRU entries as needed to stay
+  // within the shard's byte budget.
+  void Insert(const CacheKey& key, Value value);
+
+  void Clear();
+
+  Counters counters() const;
+
+  std::size_t max_bytes() const { return max_bytes_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    Value value;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[CacheKeyHash()(key) % shards_.size()];
+  }
+
+  std::size_t max_bytes_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_SERVE_RESULT_CACHE_H_

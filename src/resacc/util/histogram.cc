@@ -1,0 +1,108 @@
+#include "resacc/util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace resacc {
+namespace {
+
+// compare_exchange loops instead of std::atomic<double>::fetch_add /
+// fetch_max so the histogram only requires C++17-era atomics from the
+// standard library.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinValue)) return 0;
+  if (seconds >= kMaxValue) return kNumBuckets - 1;
+  // log-spaced: bucket 0 is the underflow bucket, the last the overflow
+  // bucket, and the kNumBuckets - 2 in between split [min, max) evenly in
+  // log space.
+  const double decades = std::log(seconds / kMinValue) /
+                         std::log(kMaxValue / kMinValue);
+  const auto idx = static_cast<std::size_t>(
+      decades * static_cast<double>(kNumBuckets - 2));
+  return 1 + (idx < kNumBuckets - 2 ? idx : kNumBuckets - 3);
+}
+
+double LatencyHistogram::BucketUpperBound(std::size_t i) {
+  if (i == 0) return kMinValue;
+  if (i >= kNumBuckets - 1) return kMaxValue;
+  const double fraction = static_cast<double>(i) /
+                          static_cast<double>(kNumBuckets - 2);
+  return kMinValue * std::pow(kMaxValue / kMinValue, fraction);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, seconds > 0.0 ? seconds : 0.0);
+  AtomicMax(max_, seconds);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, kNumBuckets> counts;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    running += counts[i];
+    if (static_cast<double>(running) >= target && counts[i] > 0) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.mean = sum_.load(std::memory_order_relaxed) /
+                static_cast<double>(snap.count);
+  }
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = Quantile(0.50);
+  snap.p95 = Quantile(0.95);
+  snap.p99 = Quantile(0.99);
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50/p95/p99=%.3f/%.3f/%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count), mean * 1e3, p50 * 1e3,
+                p95 * 1e3, p99 * 1e3, max * 1e3);
+  return buf;
+}
+
+}  // namespace resacc

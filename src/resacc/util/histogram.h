@@ -1,0 +1,74 @@
+#ifndef RESACC_UTIL_HISTOGRAM_H_
+#define RESACC_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace resacc {
+
+// Lock-free streaming latency histogram with geometric buckets, built for
+// the serving layer's p50/p95/p99 reporting: Record() is a single relaxed
+// atomic increment, so worker threads can record every query without
+// contending on a mutex, unlike materializing samples for Summarize()
+// (stats.h), which is the right tool for offline benches only.
+//
+// Buckets cover [1 microsecond, ~1000 seconds] with ~7% relative width;
+// quantiles are read from the bucket boundaries, so a reported p99 is
+// within one bucket width of the exact order statistic.
+class LatencyHistogram {
+ public:
+  // Cumulative view of everything recorded so far. Taken atomically enough
+  // for monitoring: counts are summed bucket-by-bucket while writers may
+  // proceed, so a snapshot can be mid-update but never corrupt.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;  // seconds
+    double max = 0.0;   // seconds
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    // "n=... mean=... p50/p95/p99=.../.../... max=..." with ms units.
+    std::string ToString() const;
+  };
+
+  LatencyHistogram() = default;
+
+  // Thread-safe; seconds <= 0 land in the underflow bucket.
+  void Record(double seconds);
+
+  Snapshot TakeSnapshot() const;
+
+  // Quantile q in [0, 1] of the recorded distribution (bucket-resolution).
+  double Quantile(double q) const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  // Forgets all recorded values. Not atomic w.r.t. concurrent Record().
+  void Reset();
+
+ private:
+  // 256 buckets spanning 9 decades: growth factor 1e9^(1/254) ~= 1.085.
+  static constexpr std::size_t kNumBuckets = 256;
+  static constexpr double kMinValue = 1e-6;   // 1 us
+  static constexpr double kMaxValue = 1e3;    // 1000 s
+
+  static std::size_t BucketIndex(double seconds);
+  // Upper bound of bucket `i`, the value reported for quantiles landing in
+  // it (conservative: never under-reports a latency by more than a bucket).
+  static double BucketUpperBound(std::size_t i);
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_HISTOGRAM_H_

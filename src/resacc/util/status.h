@@ -19,6 +19,7 @@ enum class StatusCode {
   kResourceExhausted,  // e.g. index exceeds the configured memory budget
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,  // serving: request expired before a worker ran it
 };
 
 // A success-or-error result, modelled after absl::Status but minimal.
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -63,8 +63,22 @@ std::size_t ThreadPool::DefaultThreads() {
 
 void ParallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+  if (count == 0) return;
+  // One task per worker over a contiguous index range, not one task per
+  // index: fine-grained loops (count >> threads) would otherwise serialize
+  // on the queue mutex and pay one lock round-trip per element. Callers
+  // with count <= num_threads (e.g. parallel_msrwr's stripes) still get
+  // exactly one task per index.
+  const std::size_t num_tasks = std::min(count, pool.num_threads());
+  const std::size_t base = count / num_tasks;
+  const std::size_t remainder = count % num_tasks;
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::size_t end = begin + base + (t < remainder ? 1 : 0);
+    pool.Submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+    begin = end;
   }
   pool.Wait();
 }

@@ -49,6 +49,63 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   EXPECT_EQ(counter.load(), 250);
 }
 
+TEST(ThreadPoolTest, ParallelForChunkedUnevenRange) {
+  // Count >> threads and not divisible: the chunked ParallelFor must still
+  // cover every index exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1237);
+  ParallelFor(pool, hits.size(),
+              [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitDuringDrain) {
+  // Tasks submit follow-up work while the main thread sits in Wait():
+  // Wait must not return until the transitively-submitted tasks finish.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&pool, &counter] {
+      pool.Submit([&pool, &counter] {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+        counter.fetch_add(1);
+      });
+      counter.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64 * 3);
+}
+
+TEST(ThreadPoolTest, WaitThenReuseRepeatedly) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), round + 1);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  // Destruction with a backlog must run every queued task (shutdown is a
+  // drain, not a drop).
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
 TEST(ParallelMsrwrTest, MatchesSequentialResults) {
   const Graph g = ChungLuPowerLaw(2000, 16000, 2.2, 9);
   RwrConfig config = RwrConfig::ForGraphSize(g.num_nodes());

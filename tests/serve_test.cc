@@ -1,0 +1,420 @@
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/core/resacc_solver.h"
+#include "resacc/eval/sources.h"
+#include "resacc/graph/generators.h"
+#include "resacc/serve/query_service.h"
+#include "resacc/serve/result_cache.h"
+#include "resacc/serve/workload.h"
+#include "resacc/util/bounded_queue.h"
+#include "resacc/util/histogram.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig TestConfig(const Graph& graph) {
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.seed = 7;
+  return config;
+}
+
+// Lets a test hold a worker hostage on a chosen source, making coalescing
+// and queue states deterministic instead of timing-dependent.
+class Gate {
+ public:
+  std::function<void(NodeId)> HookBlocking(NodeId blocked_source) {
+    return [this, blocked_source](NodeId source) {
+      if (source != blocked_source) return;
+      std::unique_lock<std::mutex> lock(mutex_);
+      arrived_ = true;
+      arrived_cv_.notify_all();
+      open_cv_.wait(lock, [this] { return open_; });
+    };
+  }
+
+  void AwaitArrival() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_cv_.wait(lock, [this] { return arrived_; });
+  }
+
+  void Open() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable arrived_cv_;
+  std::condition_variable open_cv_;
+  bool arrived_ = false;
+  bool open_ = false;
+};
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: explicit refusal, no block
+  int out = 0;
+  EXPECT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> queue(8);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));  // closed
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));  // queued items survive Close
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(out));  // drained + closed
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(1);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.TryPush(42);
+  });
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 42);
+  producer.join();
+}
+
+// --- LatencyHistogram -----------------------------------------------------
+
+TEST(LatencyHistogramTest, QuantilesBracketRecordedValues) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Record(i * 1e-3);  // 1ms .. 100ms
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  // Bucket resolution is ~8.5%; allow 10% slack around the exact order
+  // statistics.
+  EXPECT_NEAR(snap.p50, 0.050, 0.050 * 0.10);
+  EXPECT_NEAR(snap.p99, 0.099, 0.099 * 0.10);
+  EXPECT_NEAR(snap.mean, 0.0505, 1e-4);
+  EXPECT_DOUBLE_EQ(snap.max, 0.100);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < 1000; ++i) hist.Record(1e-3);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), 4000u);
+}
+
+TEST(LatencyHistogramTest, EmptyAndOutOfRange) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  hist.Record(0.0);      // underflow bucket
+  hist.Record(1e9);      // overflow bucket
+  EXPECT_EQ(hist.count(), 2u);
+  const auto snap = hist.TakeSnapshot();
+  EXPECT_GT(snap.p99, 0.0);
+}
+
+// --- ResultCache ----------------------------------------------------------
+
+ResultCache::Value MakeScores(std::size_t n, Score fill) {
+  return std::make_shared<const std::vector<Score>>(n, fill);
+}
+
+TEST(ResultCacheTest, HitAfterInsertMissOtherwise) {
+  ResultCache cache(1 << 20, 4);
+  const CacheKey a{123, 1};
+  const CacheKey b{123, 2};
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  cache.Insert(a, MakeScores(10, 0.5));
+  const auto hit = cache.Lookup(a);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)[0], 0.5);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(ResultCacheTest, DistinguishesConfigHash) {
+  ResultCache cache(1 << 20, 1);
+  cache.Insert(CacheKey{111, 5}, MakeScores(4, 1.0));
+  EXPECT_EQ(cache.Lookup(CacheKey{222, 5}), nullptr);
+  ASSERT_NE(cache.Lookup(CacheKey{111, 5}), nullptr);
+}
+
+TEST(ResultCacheTest, EvictsLruUnderByteBudget) {
+  // Single shard, budget of exactly 3 vectors of 100 scores.
+  const std::size_t entry_bytes = 100 * sizeof(Score);
+  ResultCache cache(3 * entry_bytes, 1);
+  cache.Insert(CacheKey{9, 0}, MakeScores(100, 0.0));
+  cache.Insert(CacheKey{9, 1}, MakeScores(100, 1.0));
+  cache.Insert(CacheKey{9, 2}, MakeScores(100, 2.0));
+  ASSERT_NE(cache.Lookup(CacheKey{9, 0}), nullptr);  // 0 now MRU
+  cache.Insert(CacheKey{9, 3}, MakeScores(100, 3.0));  // evicts 1 (LRU)
+  EXPECT_EQ(cache.Lookup(CacheKey{9, 1}), nullptr);
+  EXPECT_NE(cache.Lookup(CacheKey{9, 0}), nullptr);
+  EXPECT_NE(cache.Lookup(CacheKey{9, 3}), nullptr);
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_LE(counters.bytes, 3 * entry_bytes);
+}
+
+TEST(ResultCacheTest, HeldValueSurvivesEviction) {
+  const std::size_t entry_bytes = 100 * sizeof(Score);
+  ResultCache cache(entry_bytes, 1);
+  cache.Insert(CacheKey{1, 0}, MakeScores(100, 7.0));
+  const auto held = cache.Lookup(CacheKey{1, 0});
+  ASSERT_NE(held, nullptr);
+  cache.Insert(CacheKey{1, 1}, MakeScores(100, 8.0));  // evicts key 0
+  EXPECT_EQ(cache.Lookup(CacheKey{1, 0}), nullptr);
+  EXPECT_DOUBLE_EQ((*held)[99], 7.0);  // still valid for the holder
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisables) {
+  ResultCache cache(0, 4);
+  cache.Insert(CacheKey{1, 0}, MakeScores(10, 1.0));
+  EXPECT_EQ(cache.Lookup(CacheKey{1, 0}), nullptr);
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+// --- ZipfianSources -------------------------------------------------------
+
+TEST(ZipfianSourcesTest, SkewConcentratesMass) {
+  ZipfianSources zipf(1000, 1.2, 5);
+  Rng rng(11);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(rng)];
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  // The hottest node of a theta=1.2 Zipf over 1000 ranks draws >> 1/1000
+  // of the traffic.
+  EXPECT_GT(max_count, 2000);
+}
+
+TEST(ZipfianSourcesTest, ThetaZeroIsRoughlyUniform) {
+  ZipfianSources zipf(100, 0.0, 5);
+  Rng rng(11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 600);
+    EXPECT_LT(c, 1400);
+  }
+}
+
+// --- QueryService ---------------------------------------------------------
+
+// The serving acceptance bar: responses under concurrency — computed,
+// cached, or coalesced — are bit-identical to a fresh single-threaded
+// ResAccSolver with the same configuration.
+TEST(QueryServiceTest, ConcurrentClientsBitIdenticalToSingleThread) {
+  const Graph graph = ChungLuPowerLaw(2000, 16000, 2.2, 9);
+  const RwrConfig config = TestConfig(graph);
+  const std::vector<NodeId> sources = PickUniformSources(graph, 8, 3);
+
+  ResAccSolver reference(graph, config, ResAccOptions{});
+  std::vector<std::vector<Score>> expected;
+  for (NodeId s : sources) expected.push_back(reference.Query(s));
+
+  ServeOptions options;
+  options.num_workers = 4;
+  QueryService service(graph, config, options);
+
+  // 4 clients x 2 passes over every source: forces a mix of fresh
+  // computations, coalesced joins, and cache hits.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          const QueryResponse response =
+              service.Query(QueryRequest{sources[i], 0, 0.0});
+          if (!response.status.ok() ||
+              *response.scores != expected[i]) {  // exact, bitwise
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = service.Snapshot();
+  EXPECT_EQ(stats.completed, 4u * 2u * sources.size());
+  // Every OK response is exactly one of: led a computation, attached to an
+  // in-flight one, or served from cache.
+  EXPECT_EQ(stats.completed,
+            stats.computed + stats.coalesced + stats.cache_hits);
+  // Reuse must have happened: each client's second pass finds every source
+  // cached (the budget fits all 8 vectors, so nothing is evicted).
+  EXPECT_GT(stats.cache_hits + stats.coalesced, 0u);
+}
+
+TEST(QueryServiceTest, CacheHitOnRepeatAndTopK) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  ServeOptions options;
+  options.num_workers = 2;
+  QueryService service(graph, TestConfig(graph), options);
+
+  const QueryResponse first = service.Query(QueryRequest{3, 5, 0.0});
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_EQ(first.top.size(), 5u);
+  // Top list is descending and consistent with the full vector.
+  EXPECT_GE(first.top[0].second, first.top[4].second);
+  EXPECT_DOUBLE_EQ((*first.scores)[first.top[0].first],
+                   first.top[0].second);
+
+  const QueryResponse second = service.Query(QueryRequest{3, 5, 0.0});
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(*second.scores, *first.scores);
+  EXPECT_EQ(service.Snapshot().cache_hits, 1u);
+  EXPECT_EQ(service.Snapshot().computed, 1u);
+}
+
+TEST(QueryServiceTest, CoalescesIdenticalInFlightQueries) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  Gate gate;
+  ServeOptions options;
+  options.num_workers = 1;
+  options.cache_bytes = 0;  // isolate coalescing from caching
+  options.dequeue_hook = gate.HookBlocking(/*blocked_source=*/1);
+
+  QueryService service(graph, TestConfig(graph), options);
+  // Worker 0 dequeues source 1 and parks in the hook...
+  auto blocked = service.Submit(QueryRequest{1, 0, 0.0});
+  gate.AwaitArrival();
+  // ...so these all pile onto one in-flight job for source 2.
+  std::vector<std::future<QueryResponse>> burst;
+  for (int i = 0; i < 4; ++i) {
+    burst.push_back(service.Submit(QueryRequest{2, 3, 0.0}));
+  }
+  gate.Open();
+
+  ASSERT_TRUE(blocked.get().status.ok());
+  int coalesced = 0;
+  std::vector<Score> canonical;
+  for (auto& future : burst) {
+    QueryResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    if (response.coalesced) ++coalesced;
+    if (canonical.empty()) {
+      canonical = *response.scores;
+    } else {
+      EXPECT_EQ(*response.scores, canonical);
+    }
+  }
+  EXPECT_EQ(coalesced, 3);  // leader + 3 attached
+  const ServerStats stats = service.Snapshot();
+  EXPECT_EQ(stats.coalesced, 3u);
+  EXPECT_EQ(stats.computed, 2u);  // source 1 once, source 2 once
+}
+
+TEST(QueryServiceTest, QueueOverflowReturnsBackpressureStatus) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  Gate gate;
+  ServeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.cache_bytes = 0;
+  options.coalesce = false;  // every submit needs its own queue slot
+  options.dequeue_hook = gate.HookBlocking(/*blocked_source=*/1);
+
+  QueryService service(graph, TestConfig(graph), options);
+  auto blocked = service.Submit(QueryRequest{1, 0, 0.0});  // on the worker
+  gate.AwaitArrival();
+  auto queued = service.Submit(QueryRequest{2, 0, 0.0});  // fills the queue
+  auto rejected = service.Submit(QueryRequest{3, 0, 0.0});  // overflow
+
+  // The overflow future resolves immediately with an explicit status — no
+  // silent drop, no deadlock.
+  const QueryResponse overflow = rejected.get();
+  EXPECT_EQ(overflow.status.code(), StatusCode::kResourceExhausted);
+
+  gate.Open();
+  EXPECT_TRUE(blocked.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+  const ServerStats stats = service.Snapshot();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(QueryServiceTest, ExpiredRequestGetsDeadlineExceeded) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  Gate gate;
+  ServeOptions options;
+  options.num_workers = 1;
+  options.cache_bytes = 0;
+  options.dequeue_hook = gate.HookBlocking(/*blocked_source=*/1);
+
+  QueryService service(graph, TestConfig(graph), options);
+  auto blocked = service.Submit(QueryRequest{1, 0, 0.0});
+  gate.AwaitArrival();
+  // Queued behind the parked worker with a 1ms deadline.
+  auto doomed = service.Submit(QueryRequest{2, 0, 0.001});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+
+  EXPECT_TRUE(blocked.get().status.ok());
+  const QueryResponse expired = doomed.get();
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.scores, nullptr);
+  EXPECT_EQ(service.Snapshot().expired, 1u);
+}
+
+TEST(QueryServiceTest, InvalidSourceRejectedImmediately) {
+  const Graph graph = ChungLuPowerLaw(100, 500, 2.2, 11);
+  ServeOptions options;
+  options.num_workers = 1;
+  QueryService service(graph, TestConfig(graph), options);
+  const QueryResponse response =
+      service.Query(QueryRequest{graph.num_nodes(), 0, 0.0});
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, StopDrainsQueuedWorkAndRejectsNewSubmits) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  ServeOptions options;
+  options.num_workers = 2;
+  QueryService service(graph, TestConfig(graph), options);
+
+  std::vector<std::future<QueryResponse>> pending;
+  for (NodeId s = 0; s < 10; ++s) {
+    pending.push_back(service.Submit(QueryRequest{s, 0, 0.0}));
+  }
+  service.Stop();
+  // Everything accepted before Stop completes normally.
+  for (auto& future : pending) EXPECT_TRUE(future.get().status.ok());
+  // New work is refused with an explicit status.
+  EXPECT_EQ(service.Query(QueryRequest{1, 0, 0.0}).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -1,0 +1,182 @@
+// loadgen — load generator for resacc_serve. Spawns the server, streams a
+// Zipfian query workload through its stdin/stdout line protocol with a
+// bounded pipelining window, and reports client-side throughput and
+// latency percentiles plus the server's own stats line.
+//
+//   loadgen --cmd="build/tools/resacc_serve graph.bin --workers=4"
+//           [--queries=1000] [--zipf=0.99] [--topk=10] [--window=16]
+//           [--seed=7]
+//
+// POSIX-only (fork/exec + pipes), like the rest of the tooling's process
+// handling; the server command is run through /bin/sh.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "resacc/serve/workload.h"
+#include "resacc/util/args.h"
+#include "resacc/util/histogram.h"
+#include "resacc/util/timer.h"
+
+namespace {
+
+using namespace resacc;
+
+struct ServerProcess {
+  pid_t pid = -1;
+  FILE* to_server = nullptr;    // our writes -> server stdin
+  FILE* from_server = nullptr;  // server stdout -> our reads
+};
+
+bool Spawn(const std::string& command, ServerProcess& proc) {
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+  proc.pid = fork();
+  if (proc.pid < 0) return false;
+  if (proc.pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl("/bin/sh", "sh", "-c", command.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  proc.to_server = fdopen(to_child[1], "w");
+  proc.from_server = fdopen(from_child[0], "r");
+  return proc.to_server != nullptr && proc.from_server != nullptr;
+}
+
+bool ReadLine(ServerProcess& proc, std::string& out) {
+  char buf[4096];
+  if (std::fgets(buf, sizeof(buf), proc.from_server) == nullptr) {
+    return false;
+  }
+  out.assign(buf);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string command = args.GetString("cmd", "");
+  if (command.empty()) {
+    std::fprintf(stderr,
+                 "usage: loadgen --cmd=\"resacc_serve <graph> [opts]\" "
+                 "[--queries=N] [--zipf=T] [--topk=K] [--window=W] "
+                 "[--seed=S]\n");
+    return 2;
+  }
+  const std::size_t num_queries =
+      static_cast<std::size_t>(args.GetInt("queries", 1000));
+  const double theta = args.GetDouble("zipf", 0.99);
+  const std::size_t top_k =
+      static_cast<std::size_t>(args.GetInt("topk", 10));
+  const std::size_t window =
+      static_cast<std::size_t>(args.GetInt("window", 16));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 7));
+
+  ServerProcess proc;
+  if (!Spawn(command, proc)) {
+    std::fprintf(stderr, "loadgen: failed to spawn '%s'\n", command.c_str());
+    return 1;
+  }
+
+  // Handshake: learn the graph size so the workload matches the server.
+  std::fprintf(proc.to_server, "info\n");
+  std::fflush(proc.to_server);
+  std::string line;
+  unsigned long nodes = 0;
+  if (!ReadLine(proc, line) ||
+      std::sscanf(line.c_str(), "info nodes=%lu", &nodes) != 1 ||
+      nodes == 0) {
+    std::fprintf(stderr, "loadgen: bad handshake: '%s'\n", line.c_str());
+    return 1;
+  }
+
+  ZipfianSources workload(static_cast<NodeId>(nodes), theta, seed);
+  Rng rng(seed ^ 0x10adULL);
+  const std::vector<NodeId> sources = workload.Sample(num_queries, rng);
+
+  std::printf("loadgen: %zu queries, zipf=%.2f over %lu nodes, window=%zu\n",
+              num_queries, theta, nodes, window);
+
+  LatencyHistogram latency;
+  std::deque<Timer> in_flight;  // send timestamps, FIFO = response order
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::size_t errors = 0;
+  std::size_t hits = 0;
+  Timer wall;
+
+  auto receive_one = [&]() -> bool {
+    if (!ReadLine(proc, line)) return false;
+    latency.Record(in_flight.front().ElapsedSeconds());
+    in_flight.pop_front();
+    ++received;
+    if (line.rfind("ok ", 0) == 0) {
+      if (line.find("hit=1") != std::string::npos) ++hits;
+    } else {
+      ++errors;
+    }
+    return true;
+  };
+
+  while (received < num_queries) {
+    while (sent < num_queries && in_flight.size() < window) {
+      std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
+      ++sent;
+      in_flight.emplace_back();
+    }
+    std::fflush(proc.to_server);
+    if (!receive_one()) {
+      std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
+                   received);
+      return 1;
+    }
+  }
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::fprintf(proc.to_server, "stats\nquit\n");
+  std::fflush(proc.to_server);
+  std::string server_stats;
+  if (ReadLine(proc, line) && line.rfind("stats ", 0) == 0) {
+    server_stats = line.substr(6);
+  }
+  fclose(proc.to_server);
+  fclose(proc.from_server);
+  int wstatus = 0;
+  waitpid(proc.pid, &wstatus, 0);
+
+  const LatencyHistogram::Snapshot snap = latency.TakeSnapshot();
+  std::printf("client:  %zu ok, %zu errors in %.2fs -> %.1f qps\n",
+              received - errors, errors, elapsed,
+              static_cast<double>(received) / elapsed);
+  std::printf("latency: %s\n", snap.ToString().c_str());
+  std::printf("hits:    %zu/%zu (%.1f%%)\n", hits, received,
+              received > 0 ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(received)
+                           : 0.0);
+  if (!server_stats.empty()) {
+    std::printf("server:  %s\n", server_stats.c_str());
+  }
+  return errors == 0 ? 0 : 1;
+}

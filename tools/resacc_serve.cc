@@ -1,0 +1,186 @@
+// resacc_serve — line-protocol RWR query server over stdin/stdout.
+//
+//   resacc_serve <graph> [--undirected] [--workers=N] [--queue=N]
+//                [--cache-mb=M] [--no-coalesce] [--deadline-ms=D]
+//                [--window=W] [--alpha=A] [--epsilon=E] [--seed=S]
+//                [--dangling=absorb|source]
+//
+// Protocol (one request per line on stdin, one response line on stdout,
+// responses in request order):
+//   query <source> [top-k]  ->  ok <source> hit=0|1 coalesced=0|1
+//                                us=<latency> top <node>:<score> ...
+//   info                    ->  info nodes=<n> edges=<m> workers=<w>
+//   stats                   ->  stats <key=value ...>
+//   quit                    ->  bye (and exit 0)
+//   anything else           ->  err <message>
+//
+// The reader thread submits queries asynchronously (up to --window in
+// flight) while a writer thread streams responses back in order, so a
+// pipelining client keeps every worker busy through a plain pipe and a
+// stop-and-wait client still gets each answer immediately.
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "resacc/graph/graph_io.h"
+#include "resacc/serve/query_service.h"
+#include "resacc/util/args.h"
+#include "resacc/util/bounded_queue.h"
+
+namespace {
+
+using namespace resacc;
+
+// One stdout line: a query response waiting on its future, an
+// already-formatted line (info/err/bye), or a deferred stats snapshot. A
+// single writer thread consumes these in submission order, which is what
+// lets clients correlate responses by position — and what makes a `stats`
+// line reflect every query answered before it.
+struct OutputItem {
+  enum class Kind { kResponse, kLiteral, kStats };
+  Kind kind = Kind::kLiteral;
+  NodeId source = 0;
+  std::future<QueryResponse> future;
+  std::string literal;
+};
+
+void PrintResponse(NodeId source, const QueryResponse& response) {
+  if (!response.status.ok()) {
+    std::printf("err %s\n", response.status.ToString().c_str());
+    return;
+  }
+  std::printf("ok %u hit=%d coalesced=%d us=%.0f top", source,
+              response.cache_hit ? 1 : 0, response.coalesced ? 1 : 0,
+              response.latency_seconds * 1e6);
+  for (const auto& [node, score] : response.top) {
+    std::printf(" %u:%.6e", node, score);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: resacc_serve <graph> [--workers=N] [--queue=N] "
+                 "[--cache-mb=M] [--no-coalesce] [--deadline-ms=D] "
+                 "[--window=W]\n");
+    return 2;
+  }
+
+  const std::string& path = args.positionals()[0];
+  const bool binary =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  const StatusOr<Graph> graph =
+      binary ? LoadBinary(path)
+             : LoadEdgeList(path, args.HasFlag("undirected"));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  RwrConfig config = RwrConfig::ForGraphSize(graph.value().num_nodes());
+  config.alpha = args.GetDouble("alpha", config.alpha);
+  config.epsilon = args.GetDouble("epsilon", config.epsilon);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0x5eed));
+  // Same default as `resacc query`, so the two tools agree on sink graphs.
+  config.dangling = args.GetString("dangling", "absorb") == "source"
+                        ? DanglingPolicy::kBackToSource
+                        : DanglingPolicy::kAbsorb;
+
+  ServeOptions options;
+  options.num_workers = static_cast<std::size_t>(args.GetInt("workers", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.GetInt("queue", 1024));
+  options.cache_bytes =
+      static_cast<std::size_t>(args.GetInt("cache-mb", 64)) * 1024 * 1024;
+  options.coalesce = !args.HasFlag("no-coalesce");
+  options.default_deadline_seconds =
+      args.GetDouble("deadline-ms", 0.0) / 1e3;
+
+  QueryService service(graph.value(), config, options);
+  const std::size_t window = static_cast<std::size_t>(args.GetInt(
+      "window", static_cast<std::int64_t>(2 * service.num_workers())));
+
+  std::fprintf(stderr, "[serve] ready: nodes=%u edges=%llu workers=%zu\n",
+               graph.value().num_nodes(),
+               static_cast<unsigned long long>(graph.value().num_edges()),
+               service.num_workers());
+
+  BoundedQueue<OutputItem> output(window > 0 ? window : 1);
+  std::thread writer([&output, &service] {
+    OutputItem item;
+    while (output.Pop(item)) {
+      switch (item.kind) {
+        case OutputItem::Kind::kLiteral:
+          std::printf("%s\n", item.literal.c_str());
+          break;
+        case OutputItem::Kind::kResponse:
+          PrintResponse(item.source, item.future.get());
+          break;
+        case OutputItem::Kind::kStats:
+          std::printf("stats %s\n", service.Snapshot().ToLine().c_str());
+          break;
+      }
+      std::fflush(stdout);
+    }
+  });
+
+  auto emit_literal = [&output](std::string text) {
+    OutputItem item;
+    item.kind = OutputItem::Kind::kLiteral;
+    item.literal = std::move(text);
+    output.Push(std::move(item));
+  };
+
+  char line[256];
+  bool quit = false;
+  while (!quit && std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char command[32];
+    if (std::sscanf(line, "%31s", command) != 1) continue;
+
+    if (std::strcmp(command, "query") == 0) {
+      unsigned long source = 0;
+      unsigned long top_k = 10;
+      if (std::sscanf(line, "query %lu %lu", &source, &top_k) < 1) {
+        emit_literal("err malformed query line");
+        continue;
+      }
+      QueryRequest request;
+      request.source = static_cast<NodeId>(source);
+      request.top_k = static_cast<std::size_t>(top_k);
+      OutputItem item;
+      item.kind = OutputItem::Kind::kResponse;
+      item.source = request.source;
+      item.future = service.Submit(request);
+      output.Push(std::move(item));  // blocks once `window` are in flight
+    } else if (std::strcmp(command, "info") == 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "info nodes=%u edges=%llu workers=%zu",
+                    graph.value().num_nodes(),
+                    static_cast<unsigned long long>(
+                        graph.value().num_edges()),
+                    service.num_workers());
+      emit_literal(buf);
+    } else if (std::strcmp(command, "stats") == 0) {
+      OutputItem item;
+      item.kind = OutputItem::Kind::kStats;
+      output.Push(std::move(item));
+    } else if (std::strcmp(command, "quit") == 0) {
+      emit_literal("bye");
+      quit = true;
+    } else {
+      emit_literal(std::string("err unknown command '") + command + "'");
+    }
+  }
+
+  output.Close();
+  writer.join();
+  return 0;
+}
