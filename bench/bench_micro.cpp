@@ -4,9 +4,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "resacc/core/forward_push.h"
 #include "resacc/core/random_walk.h"
+#include "resacc/core/walk_engine.h"
 #include "resacc/graph/generators.h"
+#include "resacc/util/timer.h"
 #include "resacc/graph/hop_layers.h"
 #include "resacc/la/dense_matrix.h"
 #include "resacc/la/sparse_matrix.h"
@@ -59,6 +70,70 @@ void BM_RandomWalks(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(stats.walks));
 }
 BENCHMARK(BM_RandomWalks);
+
+void BM_RandomWalksGeometric(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const RwrConfig config = BenchConfig();
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config.alpha);
+  Rng rng(3);
+  WalkStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomWalkTerminalGeometric(
+        g, config, 0, 0, inv_log1m_alpha, rng, stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.walks));
+}
+BENCHMARK(BM_RandomWalksGeometric);
+
+// The remedy phase's walk workload: slices as RunRemedy would build them
+// from a forward push on the bench graph, scaled to a fixed walk count so
+// the thread sweep compares like with like.
+const std::vector<WalkSlice>& RemedyBenchSlices() {
+  static const std::vector<WalkSlice>& slices = *[] {
+    const Graph& g = BenchGraph();
+    const RwrConfig config = BenchConfig();
+    auto* out = new std::vector<WalkSlice>;
+    PushState state(g.num_nodes());
+    state.SetResidue(0, 1.0);
+    const NodeId seeds[] = {NodeId{0}};
+    RunForwardSearch(g, config, 0, /*r_max=*/1e-5, seeds, false, state);
+    const Score r_sum = state.ResidueSum();
+    const double target_walks = 2e6;
+    for (NodeId v : state.touched()) {
+      const Score residue = state.residue(v);
+      if (residue <= 0.0) continue;
+      const std::uint64_t walks = static_cast<std::uint64_t>(
+          std::ceil(residue * target_walks / r_sum));
+      out->push_back(WalkSlice{v, walks,
+                               residue / static_cast<Score>(walks),
+                               /*stream=*/v});
+    }
+    return out;
+  }();
+  return slices;
+}
+
+void BM_RemedyWalkEngine(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const RwrConfig config = BenchConfig();
+  const std::vector<WalkSlice>& slices = RemedyBenchSlices();
+  WalkEngine engine(static_cast<std::size_t>(state.range(0)));
+  const Rng root(17);
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  std::uint64_t walks = 0;
+  for (auto _ : state) {
+    std::fill(scores.begin(), scores.end(), 0.0);
+    walks += engine.Run(g, config, 0, root, slices, scores).walks;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(walks));
+}
+BENCHMARK(BM_RemedyWalkEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HopLayers(benchmark::State& state) {
   const Graph& g = BenchGraph();
@@ -120,6 +195,125 @@ void BM_DenseLuFactor(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseLuFactor)->Arg(128)->Arg(512);
 
+// Machine-readable record of the walk-engine thread sweep, for CI trend
+// tracking (--walk_engine_json=PATH). Reports per-thread-count throughput,
+// speedup over sequential, a bitwise comparison against the sequential
+// scores (the walk_engine.h contract), and the per-step vs geometric
+// single-walk sampling throughput.
+int WriteWalkEngineJson(const std::string& path) {
+  const Graph& g = BenchGraph();
+  const RwrConfig config = BenchConfig();
+  const std::vector<WalkSlice>& slices = RemedyBenchSlices();
+  const Rng root(17);
+
+  struct Sweep {
+    std::size_t threads;
+    double seconds;
+    std::uint64_t walks;
+    bool bit_identical;
+  };
+  std::vector<Sweep> sweeps;
+  std::vector<Score> reference;
+  bool all_identical = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    WalkEngine engine(threads);
+    std::vector<Score> scores(g.num_nodes(), 0.0);
+    // Warm-up run builds the pool and faults in the workspaces.
+    engine.Run(g, config, 0, root, slices, scores);
+    std::fill(scores.begin(), scores.end(), 0.0);
+    Timer timer;
+    const WalkEngineStats stats =
+        engine.Run(g, config, 0, root, slices, scores);
+    const double seconds = timer.ElapsedSeconds();
+    if (threads == 1) reference = scores;
+    const bool identical = scores == reference;
+    all_identical = all_identical && identical;
+    sweeps.push_back(Sweep{threads, seconds, stats.walks, identical});
+  }
+
+  const auto sampling_walks_per_sec = [&](auto&& walk_fn) {
+    Rng rng(3);
+    WalkStats stats;
+    const std::uint64_t walks = 400000;
+    Timer timer;
+    for (std::uint64_t i = 0; i < walks; ++i) walk_fn(rng, stats);
+    return static_cast<double>(walks) / timer.ElapsedSeconds();
+  };
+  const double per_step = sampling_walks_per_sec(
+      [&](Rng& rng, WalkStats& stats) {
+        benchmark::DoNotOptimize(
+            RandomWalkTerminal(g, config, 0, 0, rng, stats));
+      });
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config.alpha);
+  const double geometric = sampling_walks_per_sec(
+      [&](Rng& rng, WalkStats& stats) {
+        benchmark::DoNotOptimize(RandomWalkTerminalGeometric(
+            g, config, 0, 0, inv_log1m_alpha, rng, stats));
+      });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"walk_engine\",\n"
+               "  \"graph\": {\"nodes\": %u, \"edges\": %llu},\n"
+               "  \"block_walks\": %llu,\n"
+               "  \"host_hardware_concurrency\": %u,\n"
+               "  \"all_bit_identical\": %s,\n"
+               "  \"thread_sweep\": [\n",
+               g.num_nodes(),
+               static_cast<unsigned long long>(g.num_edges()),
+               static_cast<unsigned long long>(WalkEngine::kBlockWalks),
+               std::thread::hardware_concurrency(),
+               all_identical ? "true" : "false");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const Sweep& s = sweeps[i];
+    std::fprintf(
+        file,
+        "    {\"walk_threads\": %zu, \"seconds\": %.6f, \"walks\": %llu, "
+        "\"walks_per_sec\": %.0f, \"speedup\": %.3f, "
+        "\"bit_identical\": %s}%s\n",
+        s.threads, s.seconds, static_cast<unsigned long long>(s.walks),
+        static_cast<double>(s.walks) / s.seconds,
+        sweeps[0].seconds / s.seconds, s.bit_identical ? "true" : "false",
+        i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "  ],\n"
+               "  \"sampling\": {\"per_step_walks_per_sec\": %.0f, "
+               "\"geometric_walks_per_sec\": %.0f, \"speedup\": %.3f}\n"
+               "}\n",
+               per_step, geometric, geometric / per_step);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus one extra flag: --walk_engine_json=PATH runs the
+// walk-engine thread sweep after the registered benchmarks and writes the
+// JSON record (exit 1 if the bitwise-identity check fails — this is the CI
+// smoke test's assertion).
+int main(int argc, char** argv) {
+  std::string json_path;
+  int argc_out = 0;
+  for (int i = 0; i < argc; ++i) {
+    constexpr char kFlag[] = "--walk_engine_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[argc_out++] = argv[i];
+    }
+  }
+  argc = argc_out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) return WriteWalkEngineJson(json_path);
+  return 0;
+}

@@ -14,7 +14,8 @@ Fora::Fora(const Graph& graph, const RwrConfig& config,
       options_(options),
       name_("FORA"),
       state_(graph.num_nodes()),
-      rng_(config.seed) {
+      rng_(config.seed),
+      walk_engine_(options.walk_threads) {
   RESACC_CHECK(config_.Validate().ok());
   if (options_.r_max > 0.0) {
     r_max_ = options_.r_max;
@@ -53,7 +54,7 @@ std::vector<Score> Fora::Query(NodeId source) {
   Rng query_rng = rng_.Fork(source);
   last_stats_.remedy =
       RunRemedy(graph_, config_, source, state_, query_rng, scores,
-                options_.walk_scale, remaining_budget);
+                options_.walk_scale, remaining_budget, &walk_engine_);
   last_stats_.budget_exhausted = last_stats_.remedy.budget_exhausted;
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
   last_stats_.total_seconds = total.ElapsedSeconds();

@@ -1,6 +1,7 @@
 #ifndef RESACC_ALGO_FORA_H_
 #define RESACC_ALGO_FORA_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,11 @@ struct ForaOptions {
   // equal-time comparison (Fig. 6(a)): the remedy loop stops issuing walks
   // once the budget is exhausted, leaving the remaining residues
   // uncorrected — "FORA cannot generate random walks from most nodes when
-  // the time is over".
+  // the time is over". Checked every WalkEngine::kBlockWalks walks.
   double time_budget_seconds = 0.0;
+  // Threads for the walk phase (0 = hardware concurrency). Speed only;
+  // scores are bit-identical for every value (walk_engine.h).
+  std::size_t walk_threads = 1;
 };
 
 // Per-query diagnostics.
@@ -62,6 +66,7 @@ class Fora : public SsrwrAlgorithm {
   std::string name_;
   PushState state_;
   Rng rng_;
+  WalkEngine walk_engine_;
   ForaQueryStats last_stats_;
 };
 

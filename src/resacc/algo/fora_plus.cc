@@ -59,12 +59,13 @@ Status ForaPlus::BuildIndex() {
   pool_offsets_ = std::move(offsets);
   pool_endpoints_.assign(pool_offsets_.back(), 0);
   WalkStats stats;
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config_.alpha);
   for (NodeId v = 0; v < n; ++v) {
     for (std::uint64_t i = pool_offsets_[v]; i < pool_offsets_[v + 1]; ++i) {
       // restart_node = v is never used: kAbsorb was enforced above unless
       // the graph has no sinks, in which case the policies coincide.
-      pool_endpoints_[i] =
-          RandomWalkTerminal(graph_, config_, v, v, rng_, stats);
+      pool_endpoints_[i] = RandomWalkTerminalGeometric(
+          graph_, config_, v, v, inv_log1m_alpha, rng_, stats);
     }
   }
   index_ready_ = true;
@@ -164,6 +165,7 @@ std::vector<Score> ForaPlus::Query(NodeId source) {
   // Remedy via pool lookups: n_r(v) = ceil(r(v) * c) endpoints from v's
   // precomputed walks, each carrying weight r(v) / n_r(v).
   const double c = config_.WalkCountCoefficient();
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config_.alpha);
   WalkStats extra_stats;
   Rng query_rng = rng_.Fork(source);
   for (NodeId v : state_.touched()) {
@@ -181,8 +183,8 @@ std::vector<Score> ForaPlus::Query(NodeId source) {
     // bound; simulate the (rare) overflow when a caller passed a custom
     // r_max that breaks the bound.
     for (std::uint64_t i = from_pool; i < walks; ++i) {
-      const NodeId terminal = RandomWalkTerminal(graph_, config_, source, v,
-                                                 query_rng, extra_stats);
+      const NodeId terminal = RandomWalkTerminalGeometric(
+          graph_, config_, source, v, inv_log1m_alpha, query_rng, extra_stats);
       scores[terminal] += weight;
     }
   }

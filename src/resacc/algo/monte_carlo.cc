@@ -1,18 +1,20 @@
 #include "resacc/algo/monte_carlo.h"
 
 #include <cmath>
+#include <span>
 
 #include "resacc/util/check.h"
 
 namespace resacc {
 
 MonteCarlo::MonteCarlo(const Graph& graph, const RwrConfig& config,
-                       double walk_scale)
+                       double walk_scale, std::size_t walk_threads)
     : graph_(graph),
       config_(config),
       walk_scale_(walk_scale),
       name_("MC"),
-      rng_(config.seed) {
+      rng_(config.seed),
+      walk_engine_(walk_threads) {
   RESACC_CHECK(config_.Validate().ok());
   RESACC_CHECK(walk_scale_ > 0.0);
 }
@@ -26,12 +28,12 @@ std::vector<Score> MonteCarlo::Query(NodeId source) {
   std::vector<Score> scores(graph_.num_nodes(), 0.0);
   const Score weight = 1.0 / static_cast<Score>(num_walks);
   Rng query_rng = rng_.Fork(source);
+  const WalkSlice slice{source, num_walks, weight, /*stream=*/source};
+  const WalkEngineStats engine_stats = walk_engine_.Run(
+      graph_, config_, source, query_rng, std::span(&slice, 1), scores);
   last_walk_stats_ = WalkStats();
-  for (std::uint64_t i = 0; i < num_walks; ++i) {
-    const NodeId terminal = RandomWalkTerminal(graph_, config_, source, source,
-                                               query_rng, last_walk_stats_);
-    scores[terminal] += weight;
-  }
+  last_walk_stats_.walks = engine_stats.walks;
+  last_walk_stats_.steps = engine_stats.steps;
   return scores;
 }
 

@@ -1,11 +1,13 @@
 #ifndef RESACC_ALGO_MONTE_CARLO_H_
 #define RESACC_ALGO_MONTE_CARLO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "resacc/core/random_walk.h"
+#include "resacc/core/walk_engine.h"
 #include "resacc/core/rwr_config.h"
 #include "resacc/core/ssrwr_algorithm.h"
 #include "resacc/graph/graph.h"
@@ -20,8 +22,10 @@ namespace resacc {
 // walks (times `walk_scale`).
 class MonteCarlo : public SsrwrAlgorithm {
  public:
+  // walk_threads: walk-engine parallelism (0 = hardware concurrency).
+  // Scores are bit-identical for every value (walk_engine.h).
   MonteCarlo(const Graph& graph, const RwrConfig& config,
-             double walk_scale = 1.0);
+             double walk_scale = 1.0, std::size_t walk_threads = 1);
 
   const std::string& name() const override { return name_; }
 
@@ -35,6 +39,7 @@ class MonteCarlo : public SsrwrAlgorithm {
   double walk_scale_;
   std::string name_;
   Rng rng_;
+  WalkEngine walk_engine_;
   WalkStats last_walk_stats_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef RESACC_CORE_RANDOM_WALK_H_
 #define RESACC_CORE_RANDOM_WALK_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "resacc/core/rwr_config.h"
@@ -33,6 +34,50 @@ inline NodeId RandomWalkTerminal(const Graph& graph, const RwrConfig& config,
   while (!rng.Bernoulli(config.alpha)) {
     const NodeId degree = graph.OutDegree(current);
     if (degree == 0) {
+      if (config.dangling == DanglingPolicy::kAbsorb) return current;
+      current = restart_node;
+    } else {
+      current = graph.OutNeighbor(current, rng.NextBounded32(degree));
+    }
+    ++stats.steps;
+  }
+  return current;
+}
+
+// Precomputed factor for GeometricWalkLength: 1 / ln(1 - alpha). Negative;
+// hoist it out of the walk loop (log is far more expensive than the draw).
+inline double InvLogOneMinusAlpha(double alpha) {
+  return 1.0 / std::log1p(-alpha);
+}
+
+// Number of moves before the restart-termination fires: L with
+// P(L >= k) = (1-alpha)^k, sampled by inversion from ONE uniform draw —
+// replaces the per-step Bernoulli(alpha) draw of RandomWalkTerminal and
+// roughly halves the RNG work per step.
+inline std::uint64_t GeometricWalkLength(Rng& rng, double inv_log1m_alpha) {
+  // u in [0, 1), so log1p(-u) = ln(1-u) is finite and <= 0; the ratio of
+  // two non-positive numbers gives L >= 0, with u = 0 mapping to L = 0.
+  const double u = rng.NextDouble();
+  return static_cast<std::uint64_t>(std::log1p(-u) * inv_log1m_alpha);
+}
+
+// RandomWalkTerminal with the walk length pre-sampled geometrically. The
+// terminal-node distribution is identical (the per-step engine's step count
+// is exactly this geometric variable); only the RNG stream differs. Pass
+// inv_log1m_alpha = InvLogOneMinusAlpha(config.alpha).
+inline NodeId RandomWalkTerminalGeometric(const Graph& graph,
+                                          const RwrConfig& config,
+                                          NodeId restart_node, NodeId start,
+                                          double inv_log1m_alpha, Rng& rng,
+                                          WalkStats& stats) {
+  NodeId current = start;
+  ++stats.walks;
+  for (std::uint64_t remaining = GeometricWalkLength(rng, inv_log1m_alpha);
+       remaining > 0; --remaining) {
+    const NodeId degree = graph.OutDegree(current);
+    if (degree == 0) {
+      // Same sink behaviour as the per-step engine: absorb ends the walk
+      // regardless of the remaining length; back-to-source costs a step.
       if (config.dangling == DanglingPolicy::kAbsorb) return current;
       current = restart_node;
     } else {

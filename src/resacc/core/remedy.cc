@@ -3,17 +3,15 @@
 #include <cmath>
 
 #include "resacc/util/check.h"
-#include "resacc/util/timer.h"
 
 namespace resacc {
 
 RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
                       NodeId source, const PushState& state, Rng& rng,
                       std::vector<Score>& scores, double walk_scale,
-                      double time_budget_seconds) {
+                      double time_budget_seconds, WalkEngine* engine) {
   RESACC_CHECK(scores.size() == graph.num_nodes());
   RemedyStats stats;
-  Timer budget_timer;
 
   const Score r_sum = state.ResidueSum();
   stats.residue_sum = r_sum;
@@ -24,32 +22,35 @@ RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
   stats.target_walks = n_r;
   if (n_r <= 0.0) return stats;
 
-  WalkStats walk_stats;
+  // One slice per residual node, in touched order (the merge order).
+  // n_r(v) = ceil(r(v) * n_r / r_sum); each walk carries weight
+  // a(v) * r_sum / n_r = r(v) / n_r(v)  (Algorithm 2 lines 10-15).
+  std::vector<WalkSlice> slices;
+  slices.reserve(state.touched().size());
   for (NodeId v : state.touched()) {
     const Score residue = state.residue(v);
     if (residue <= 0.0) continue;
-    // Budget check per residual node (walk batches are short, so this
-    // granularity tracks the budget closely without a per-walk clock read).
-    if (time_budget_seconds > 0.0 &&
-        budget_timer.ElapsedSeconds() >= time_budget_seconds) {
-      stats.budget_exhausted = true;
-      break;
-    }
-    // n_r(v) = ceil(r(v) * n_r / r_sum); each walk carries weight
-    // a(v) * r_sum / n_r = r(v) / n_r(v)  (Algorithm 2 lines 10-15).
     const double exact = residue * n_r / r_sum;
     const std::uint64_t walks_v =
         static_cast<std::uint64_t>(std::ceil(exact));
     RESACC_DCHECK(walks_v >= 1);
-    const Score increment = residue / static_cast<Score>(walks_v);
-    for (std::uint64_t i = 0; i < walks_v; ++i) {
-      const NodeId terminal =
-          RandomWalkTerminal(graph, config, source, v, rng, walk_stats);
-      scores[terminal] += increment;
-    }
+    slices.push_back(WalkSlice{v, walks_v,
+                               residue / static_cast<Score>(walks_v),
+                               /*stream=*/v});
   }
-  stats.walks = walk_stats.walks;
-  stats.steps = walk_stats.steps;
+
+  // One draw advances the caller's rng (repeated calls with the same Rng
+  // stay independent runs); everything below forks from walk_root, keyed
+  // by node id, so the walks are independent of slice/query order.
+  Rng walk_root(rng.Next());
+  WalkEngine sequential(1);
+  WalkEngine& walk_engine = engine != nullptr ? *engine : sequential;
+  const WalkEngineStats engine_stats =
+      walk_engine.Run(graph, config, source, walk_root, slices, scores,
+                      time_budget_seconds);
+  stats.walks = engine_stats.walks;
+  stats.steps = engine_stats.steps;
+  stats.budget_exhausted = engine_stats.budget_exhausted;
   return stats;
 }
 

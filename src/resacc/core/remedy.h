@@ -7,6 +7,7 @@
 #include "resacc/core/push_state.h"
 #include "resacc/core/random_walk.h"
 #include "resacc/core/rwr_config.h"
+#include "resacc/core/walk_engine.h"
 #include "resacc/graph/graph.h"
 #include "resacc/util/rng.h"
 
@@ -35,11 +36,21 @@ struct RemedyStats {
 //
 // `time_budget_seconds` > 0 makes the walk loop stop once the budget is
 // spent, leaving later residues uncorrected (the equal-time comparison of
-// Fig. 6(a) terminates FORA this way).
+// Fig. 6(a) terminates FORA this way). The budget clock is checked every
+// WalkEngine::kBlockWalks walks, so even one high-residue node with
+// millions of walks overshoots the budget by at most one block.
+//
+// The walks run on `engine` (WalkEngine); nullptr uses a per-call
+// sequential engine. The output is bit-identical for every engine thread
+// count: randomness is forked per residual node from one draw of `rng`
+// (which advances, so repeated calls with the same Rng object stay
+// independent), and the engine merges per-block partial sums in a fixed
+// order. See walk_engine.h for the full determinism contract.
 RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
                       NodeId source, const PushState& state, Rng& rng,
                       std::vector<Score>& scores, double walk_scale = 1.0,
-                      double time_budget_seconds = 0.0);
+                      double time_budget_seconds = 0.0,
+                      WalkEngine* engine = nullptr);
 
 }  // namespace resacc
 

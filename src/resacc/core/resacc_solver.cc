@@ -15,7 +15,8 @@ ResAccSolver::ResAccSolver(const Graph& graph, const RwrConfig& config,
       options_(options),
       name_("ResAcc"),
       state_(graph.num_nodes()),
-      rng_(config.seed) {
+      rng_(config.seed),
+      walk_engine_(options.walk_threads) {
   RESACC_CHECK(config_.Validate().ok());
   RESACC_CHECK(options_.r_max_hop > 0.0);
   r_max_f_ = options_.r_max_f > 0.0
@@ -65,8 +66,10 @@ std::vector<Score> ResAccSolver::Query(NodeId source) {
   std::vector<Score> scores(graph_.num_nodes(), 0.0);
   for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
   Rng query_rng = rng_.Fork(source);
-  last_stats_.remedy = RunRemedy(graph_, config_, source, state_, query_rng,
-                                 scores, options_.walk_scale);
+  last_stats_.remedy =
+      RunRemedy(graph_, config_, source, state_, query_rng, scores,
+                options_.walk_scale, /*time_budget_seconds=*/0.0,
+                &walk_engine_);
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
 
   last_stats_.total_seconds = total.ElapsedSeconds();

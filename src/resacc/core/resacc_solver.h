@@ -1,6 +1,7 @@
 #ifndef RESACC_CORE_RESACC_SOLVER_H_
 #define RESACC_CORE_RESACC_SOLVER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,6 +31,13 @@ struct ResAccOptions {
   double max_hop_set_fraction = 0.15;
   // Remedy walk multiplier n_scale (Appendix F); 1.0 = Theorem 3 count.
   double walk_scale = 1.0;
+
+  // Threads for the remedy phase's walk engine (0 = hardware concurrency).
+  // Changes speed only, never the scores: remedy output is bit-identical
+  // for every value (see walk_engine.h), which is why this knob is NOT
+  // part of the serve-layer config hash. Keep 1 wherever one solver
+  // already runs per pool worker (QueryService, ParallelQueryMany).
+  std::size_t walk_threads = 1;
 
   // Ablation switches (Appendix K). All true = full ResAcc.
   bool use_loop_accumulation = true;  // false => "No-Loop-ResAcc"
@@ -79,6 +87,7 @@ class ResAccSolver : public SsrwrAlgorithm {
   std::string name_;
   PushState state_;
   Rng rng_;
+  WalkEngine walk_engine_;
   ResAccQueryStats last_stats_;
 };
 

@@ -1,0 +1,197 @@
+#include "resacc/core/walk_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "resacc/core/random_walk.h"
+#include "resacc/util/check.h"
+#include "resacc/util/timer.h"
+
+namespace resacc {
+namespace {
+
+// A scheduling unit: up to kBlockWalks walks of one slice. `ordinal` is the
+// block's index within its slice and selects the second-level RNG fork.
+struct Block {
+  std::uint32_t slice = 0;
+  std::uint64_t walks = 0;
+  std::uint64_t ordinal = 0;
+};
+
+std::vector<Block> BuildBlocks(std::span<const WalkSlice> slices) {
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const WalkSlice& slice = slices[i];
+    RESACC_DCHECK(slice.weight > 0.0 || slice.num_walks == 0);
+    std::uint64_t remaining = slice.num_walks;
+    std::uint64_t ordinal = 0;
+    while (remaining > 0) {
+      const std::uint64_t walks =
+          std::min<std::uint64_t>(remaining, WalkEngine::kBlockWalks);
+      blocks.push_back(Block{static_cast<std::uint32_t>(i), walks, ordinal});
+      remaining -= walks;
+      ++ordinal;
+    }
+  }
+  return blocks;
+}
+
+// Runs one block's walks into `workspace`. The rng is the block's private
+// substream, so the result depends only on (graph, config, slice, ordinal).
+void WalkBlock(const Graph& graph, const RwrConfig& config,
+               NodeId restart_node, const WalkSlice& slice,
+               std::uint64_t num_walks, double inv_log1m_alpha, Rng rng,
+               WalkEngine::Workspace& workspace, WalkStats& stats) {
+  graph.PrefetchOutRow(slice.start);
+  for (std::uint64_t i = 0; i < num_walks; ++i) {
+    const NodeId terminal = RandomWalkTerminalGeometric(
+        graph, config, restart_node, slice.start, inv_log1m_alpha, rng,
+        stats);
+    workspace.Add(terminal, slice.weight);
+  }
+}
+
+}  // namespace
+
+WalkEngine::WalkEngine(std::size_t walk_threads)
+    : walk_threads_(walk_threads > 0 ? walk_threads
+                                     : ThreadPool::DefaultThreads()) {}
+
+WalkEngine::~WalkEngine() = default;
+
+WalkEngine::Workspace& WalkEngine::WorkspaceFor(std::size_t index,
+                                                NodeId num_nodes) {
+  while (workspaces_.size() <= index) {
+    workspaces_.push_back(std::make_unique<Workspace>());
+  }
+  workspaces_[index]->EnsureSize(num_nodes);
+  return *workspaces_[index];
+}
+
+WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
+                                NodeId restart_node, const Rng& root,
+                                std::span<const WalkSlice> slices,
+                                std::vector<Score>& scores,
+                                double time_budget_seconds) {
+  RESACC_CHECK(scores.size() == graph.num_nodes());
+  WalkEngineStats stats;
+  const std::vector<Block> blocks = BuildBlocks(slices);
+  if (blocks.empty()) return stats;
+  stats.blocks = blocks.size();
+
+  Timer budget_timer;
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config.alpha);
+  auto block_rng = [&](const Block& block) {
+    return root.Fork(slices[block.slice].stream).Fork(block.ordinal);
+  };
+
+  const std::size_t workers = std::min(walk_threads_, blocks.size());
+  if (workers <= 1) {
+    // Sequential path. Still per-block: the same RNG forks and the same
+    // partial-sum grouping as the parallel path (DrainInto folds exactly
+    // the per-block partials, in block order), so walk_threads = 1 is
+    // bit-identical to walk_threads = N by construction.
+    Workspace& workspace = WorkspaceFor(0, graph.num_nodes());
+    WalkStats walk_stats;
+    for (const Block& block : blocks) {
+      if (time_budget_seconds > 0.0 &&
+          budget_timer.ElapsedSeconds() >= time_budget_seconds) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      WalkBlock(graph, config, restart_node, slices[block.slice],
+                block.walks, inv_log1m_alpha, block_rng(block), workspace,
+                walk_stats);
+      workspace.DrainInto(scores);
+    }
+    stats.walks = walk_stats.walks;
+    stats.steps = walk_stats.steps;
+    return stats;
+  }
+
+  if (pool_ == nullptr || pool_->num_threads() < workers) {
+    pool_ = std::make_unique<ThreadPool>(walk_threads_);
+  }
+
+  // Parallel path: workers pull block indices and publish per-block partial
+  // sums; the calling thread folds them into `scores` strictly in block
+  // order. The reorder window bounds how far workers may run ahead of the
+  // merge frontier, keeping buffered partials O(workers), not O(blocks).
+  struct BlockResult {
+    std::vector<std::pair<NodeId, Score>> deposits;
+    bool ready = false;
+  };
+  std::vector<BlockResult> results(blocks.size());
+  std::vector<WalkStats> worker_stats(workers);
+
+  std::mutex mutex;
+  std::condition_variable window_open;  // merge frontier advanced
+  std::condition_variable block_ready;  // a block published its result
+  std::size_t next_block = 0;
+  std::size_t merged = 0;
+  const std::size_t window = std::max<std::size_t>(4 * workers, 16);
+  std::atomic<bool> exhausted{false};
+
+  for (std::size_t k = 0; k < workers; ++k) {
+    Workspace* workspace = &WorkspaceFor(k, graph.num_nodes());
+    WalkStats* local_stats = &worker_stats[k];
+    pool_->Submit([&, workspace, local_stats] {
+      for (;;) {
+        std::size_t index;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          window_open.wait(lock, [&] {
+            return next_block >= blocks.size() ||
+                   next_block < merged + window;
+          });
+          if (next_block >= blocks.size()) return;
+          index = next_block++;
+        }
+        const Block& block = blocks[index];
+        bool skip = exhausted.load(std::memory_order_relaxed);
+        if (!skip && time_budget_seconds > 0.0 &&
+            budget_timer.ElapsedSeconds() >= time_budget_seconds) {
+          exhausted.store(true, std::memory_order_relaxed);
+          skip = true;
+        }
+        if (!skip) {
+          const WalkSlice& slice = slices[block.slice];
+          WalkBlock(graph, config, restart_node, slice, block.walks,
+                    inv_log1m_alpha, block_rng(block), *workspace,
+                    *local_stats);
+          results[index].deposits = workspace->Extract();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          results[index].ready = true;
+        }
+        block_ready.notify_one();
+      }
+    });
+  }
+
+  while (merged < blocks.size()) {
+    std::vector<std::pair<NodeId, Score>> deposits;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      block_ready.wait(lock, [&] { return results[merged].ready; });
+      deposits = std::move(results[merged].deposits);
+      ++merged;
+    }
+    window_open.notify_all();
+    for (const auto& [v, w] : deposits) scores[v] += w;
+  }
+  pool_->Wait();
+
+  for (const WalkStats& ws : worker_stats) {
+    stats.walks += ws.walks;
+    stats.steps += ws.steps;
+  }
+  stats.budget_exhausted = exhausted.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace resacc

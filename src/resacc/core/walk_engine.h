@@ -1,0 +1,153 @@
+#ifndef RESACC_CORE_WALK_ENGINE_H_
+#define RESACC_CORE_WALK_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "resacc/core/rwr_config.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/rng.h"
+#include "resacc/util/thread_pool.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// One batch of identical-origin walks: `num_walks` walks start at `start`
+// and each deposits `weight` on its terminal node. `stream` selects the RNG
+// substream; callers pass the start node id so a slice's randomness is a
+// function of (root rng, node) alone, never of slice order or scheduling.
+struct WalkSlice {
+  NodeId start = 0;
+  std::uint64_t num_walks = 0;
+  Score weight = 0.0;
+  std::uint64_t stream = 0;
+};
+
+// Outcome of a WalkEngine::Run call.
+struct WalkEngineStats {
+  std::uint64_t walks = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t blocks = 0;          // scheduling blocks formed
+  bool budget_exhausted = false;     // stopped early by the time budget
+};
+
+// Deterministic, intra-query-parallel random-walk executor — the shared hot
+// loop of ResAcc's remedy phase, FORA's walk phase, and Monte Carlo.
+//
+// Determinism contract: for a fixed (graph, config, root rng, slices), the
+// score vector produced by Run is bit-identical for every `walk_threads`
+// value (including 1) and every scheduling of blocks onto threads. This is
+// what lets the serve layer mix cached, coalesced, and freshly computed
+// responses, and lets `walk_threads` stay out of the result-cache config
+// hash. Three mechanisms make it hold:
+//
+//   1. RNG substreams. Slices are split into blocks of at most kBlockWalks
+//      walks; block b of slice s draws from root.Fork(s.stream).Fork(b), so
+//      a block's walks do not depend on which thread runs it or when.
+//   2. Fixed reduction grouping. Each block accumulates into a private
+//      sparse workspace (dense array + touched list, the PushState
+//      pattern), and block partial sums are folded into `scores` strictly
+//      in block-index order. Floating-point addition is non-associative, so
+//      the grouping — per-block partials, merged in order — is the
+//      contract; kBlockWalks is therefore a constant, not a knob.
+//   3. No atomics on the hot path. Workers only touch their own workspace;
+//      the calling thread does the ordered merge as blocks retire (a
+//      bounded reorder window provides backpressure so memory stays
+//      proportional to walk_threads, not to the walk count).
+//
+// The walk loop itself samples the walk length geometrically (one uniform
+// draw via inversion instead of a Bernoulli(alpha) draw per step — roughly
+// half the RNG work) and prefetches the CSR row of each block's start node
+// when the block is picked up.
+//
+// The time budget is checked once per block, i.e. every <= kBlockWalks
+// walks, so a single high-residue node can overshoot the budget by at most
+// one block of walks. Budget-truncated runs are the one case that is *not*
+// reproducible (which blocks got dropped depends on wall-clock timing).
+//
+// An engine instance is NOT thread-safe: it owns per-thread workspaces that
+// are reused across Run calls. Give each solver its own engine (the same
+// one-instance-per-worker rule as the solvers themselves). Nested
+// parallelism rule: code that already runs one solver per pool worker
+// (QueryService, ParallelQueryMany) should keep walk_threads = 1 so a
+// machine-sized worker pool is not multiplied by a machine-sized walk pool.
+class WalkEngine {
+ public:
+  // Scheduling/budget granularity; see the determinism contract above for
+  // why this is a constant.
+  static constexpr std::uint64_t kBlockWalks = 4096;
+
+  // walk_threads = 1 runs on the calling thread (no pool is created);
+  // 0 means ThreadPool::DefaultThreads(). The pool is created lazily on the
+  // first Run that has more than one block to schedule.
+  explicit WalkEngine(std::size_t walk_threads = 1);
+  ~WalkEngine();
+
+  WalkEngine(const WalkEngine&) = delete;
+  WalkEngine& operator=(const WalkEngine&) = delete;
+
+  std::size_t walk_threads() const { return walk_threads_; }
+
+  // Simulates every slice's walks and accumulates the deposits into
+  // `scores` (sized num_nodes). `restart_node` is where kBackToSource
+  // dangling walks jump. `time_budget_seconds` > 0 stops issuing blocks
+  // once the budget is spent. Slice weights must be positive.
+  WalkEngineStats Run(const Graph& graph, const RwrConfig& config,
+                      NodeId restart_node, const Rng& root,
+                      std::span<const WalkSlice> slices,
+                      std::vector<Score>& scores,
+                      double time_budget_seconds = 0.0);
+
+  // Per-worker sparse accumulator: dense score array + touched list, reset
+  // in O(touched) and reused across blocks and Run calls. Public only so
+  // the implementation's free functions can take it; not part of the API.
+  struct Workspace {
+    std::vector<Score> dense;
+    std::vector<NodeId> touched;
+
+    void EnsureSize(NodeId num_nodes) {
+      if (dense.size() != num_nodes) {
+        dense.assign(num_nodes, 0.0);
+        touched.clear();
+      }
+    }
+    // Valid for positive deposits only: a zero entry means "untouched".
+    void Add(NodeId v, Score w) {
+      if (dense[v] == 0.0) touched.push_back(v);
+      dense[v] += w;
+    }
+    // Moves the partial sums out (in touch order) and resets.
+    std::vector<std::pair<NodeId, Score>> Extract() {
+      std::vector<std::pair<NodeId, Score>> out;
+      out.reserve(touched.size());
+      for (NodeId v : touched) {
+        out.emplace_back(v, dense[v]);
+        dense[v] = 0.0;
+      }
+      touched.clear();
+      return out;
+    }
+    // Folds the partial sums into `scores` (in touch order) and resets.
+    void DrainInto(std::vector<Score>& scores) {
+      for (NodeId v : touched) {
+        scores[v] += dense[v];
+        dense[v] = 0.0;
+      }
+      touched.clear();
+    }
+  };
+
+ private:
+  Workspace& WorkspaceFor(std::size_t index, NodeId num_nodes);
+
+  std::size_t walk_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily; walk_threads_ > 1
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_CORE_WALK_ENGINE_H_

@@ -62,6 +62,14 @@ class Graph {
     return out_targets_[out_offsets_[u] + j];
   }
 
+  // Hints the hardware prefetcher at u's CSR out-row (the offset pair that
+  // every degree lookup reads first). The walk engine issues this when it
+  // picks up a block, ahead of the first walk touching the row.
+  void PrefetchOutRow(NodeId u) const {
+    RESACC_DCHECK(u < num_nodes_);
+    __builtin_prefetch(out_offsets_.data() + u, /*rw=*/0, /*locality=*/1);
+  }
+
   bool HasEdge(NodeId u, NodeId v) const;
 
   NodeId MaxOutDegree() const;

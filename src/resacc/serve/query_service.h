@@ -104,7 +104,12 @@ struct QueryResponse {
 // is forked per source (resacc_solver.cc), so a response is bit-identical
 // to a fresh single-threaded ResAccSolver::Query with the same config —
 // regardless of which worker ran it, of interleaving, and of whether it
-// was served from the cache or a coalesced computation.
+// was served from the cache or a coalesced computation. The walk engine is
+// itself bit-identical for every options.solver.walk_threads value
+// (walk_engine.h), so that knob may differ between service and reference
+// without breaking the equality — but leave it at 1 here: the service
+// already runs one solver per worker, and nesting walk parallelism inside
+// worker parallelism oversubscribes the machine without helping latency.
 class QueryService {
  public:
   QueryService(const Graph& graph, const RwrConfig& config,

@@ -39,6 +39,9 @@ std::uint64_t HashQueryConfig(const RwrConfig& config,
   HashValue(h, options.use_loop_accumulation);
   HashValue(h, options.use_hop_subgraph);
   HashValue(h, options.use_omfwd);
+  // options.walk_threads is deliberately NOT hashed: the walk engine is
+  // bit-identical for every thread count (walk_engine.h), so solvers that
+  // differ only in walk_threads produce interchangeable results.
   return h;
 }
 

@@ -275,6 +275,43 @@ TEST(QueryServiceTest, ConcurrentClientsBitIdenticalToSingleThread) {
   EXPECT_GT(stats.cache_hits + stats.coalesced, 0u);
 }
 
+// walk_threads is speed-only (walk_engine.h): a service whose workers run
+// intra-query-parallel walk engines must answer bit-identically to a plain
+// single-threaded reference solver — fresh computations and cache hits
+// alike. This is why walk_threads stays out of HashQueryConfig.
+TEST(QueryServiceTest, ParallelWalkEngineBitIdenticalToReference) {
+  const Graph graph = ChungLuPowerLaw(2000, 16000, 2.2, 9);
+  const RwrConfig config = TestConfig(graph);
+  const std::vector<NodeId> sources = PickUniformSources(graph, 6, 4);
+
+  ResAccOptions reference_options;
+  reference_options.walk_threads = 1;
+  ResAccSolver reference(graph, config, reference_options);
+  std::vector<std::vector<Score>> expected;
+  for (NodeId s : sources) expected.push_back(reference.Query(s));
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.solver.walk_threads = 2;
+  QueryService service(graph, config, options);
+
+  // First pass computes (with the parallel walk engine), second pass must
+  // be served from cache; both must equal the sequential reference bitwise.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const QueryResponse response =
+          service.Query(QueryRequest{sources[i], 0, 0.0});
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_EQ(*response.scores, expected[i])  // exact, bitwise
+          << "pass " << pass << " source " << sources[i];
+      if (pass == 1) {
+        EXPECT_TRUE(response.cache_hit);
+      }
+    }
+  }
+  EXPECT_EQ(service.Snapshot().cache_hits, sources.size());
+}
+
 TEST(QueryServiceTest, CacheHitOnRepeatAndTopK) {
   const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
   ServeOptions options;

@@ -1,0 +1,321 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/algo/monte_carlo.h"
+#include "resacc/core/forward_push.h"
+#include "resacc/core/random_walk.h"
+#include "resacc/core/remedy.h"
+#include "resacc/core/resacc_solver.h"
+#include "resacc/core/walk_engine.h"
+#include "resacc/graph/generators.h"
+#include "tests/test_graphs.h"
+
+namespace resacc {
+namespace {
+
+using ::resacc::testing::Figure1Graph;
+using ::resacc::testing::Figure3Graph;
+
+RwrConfig TestConfig(DanglingPolicy policy) {
+  RwrConfig config;
+  config.alpha = 0.2;
+  config.dangling = policy;
+  config.seed = 2024;
+  return config;
+}
+
+// Slices spanning several scheduling blocks per slice plus a sub-block
+// remainder — the shapes where merge order and RNG forking could diverge.
+std::vector<WalkSlice> MultiBlockSlices(const Graph& g) {
+  std::vector<WalkSlice> slices;
+  const std::uint64_t walks[] = {3 * WalkEngine::kBlockWalks + 17,
+                                 WalkEngine::kBlockWalks,
+                                 WalkEngine::kBlockWalks - 1, 5};
+  NodeId start = 0;
+  for (std::uint64_t w : walks) {
+    slices.push_back(WalkSlice{start, w, 1.0 / static_cast<Score>(w),
+                               /*stream=*/start});
+    start = (start + 7) % g.num_nodes();
+  }
+  return slices;
+}
+
+// The determinism contract (walk_engine.h): bit-identical scores for every
+// thread count, including the sequential path.
+TEST(WalkEngineTest, BitIdenticalAcrossThreadCounts) {
+  const Graph g = ErdosRenyi(300, 1800, 11);
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  const std::vector<WalkSlice> slices = MultiBlockSlices(g);
+  const Rng root(12345);
+
+  std::vector<Score> reference(g.num_nodes(), 0.0);
+  WalkEngine sequential(1);
+  const WalkEngineStats ref_stats =
+      sequential.Run(g, config, 0, root, slices, reference);
+  EXPECT_GT(ref_stats.walks, 0u);
+  EXPECT_GT(ref_stats.blocks, 4u);
+
+  for (std::size_t threads : {2u, 8u}) {
+    std::vector<Score> scores(g.num_nodes(), 0.0);
+    WalkEngine engine(threads);
+    const WalkEngineStats stats =
+        engine.Run(g, config, 0, root, slices, scores);
+    EXPECT_EQ(stats.walks, ref_stats.walks);
+    EXPECT_EQ(stats.steps, ref_stats.steps);
+    EXPECT_EQ(stats.blocks, ref_stats.blocks);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(scores[v], reference[v])
+          << "threads=" << threads << " node " << v;
+    }
+  }
+}
+
+// Repeated Run calls on one engine instance must not leak workspace state
+// between calls.
+TEST(WalkEngineTest, ReusedEngineReproducesItself) {
+  const Graph g = ErdosRenyi(300, 1800, 11);
+  const RwrConfig config = TestConfig(DanglingPolicy::kBackToSource);
+  const std::vector<WalkSlice> slices = MultiBlockSlices(g);
+  const Rng root(99);
+
+  WalkEngine engine(4);
+  std::vector<Score> first(g.num_nodes(), 0.0);
+  engine.Run(g, config, 0, root, slices, first);
+  std::vector<Score> second(g.num_nodes(), 0.0);
+  engine.Run(g, config, 0, root, slices, second);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(first[v], second[v]) << "node " << v;
+  }
+}
+
+// A slice's walks are keyed by its stream, not its position, so reordering
+// slices leaves every trajectory unchanged — only the order in which block
+// partials are folded into `scores` moves, which perturbs sums by rounding
+// alone. (Bit-exactness is promised for a fixed slice list — and per query
+// the list IS fixed, since PushState's touch order is deterministic.)
+TEST(WalkEngineTest, SliceOrderOnlyPerturbsRounding) {
+  const Graph g = ErdosRenyi(300, 1800, 11);
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  std::vector<WalkSlice> slices = MultiBlockSlices(g);
+  const Rng root(7);
+
+  std::vector<Score> forward(g.num_nodes(), 0.0);
+  WalkEngine(2).Run(g, config, 0, root, slices, forward);
+
+  std::reverse(slices.begin(), slices.end());
+  std::vector<Score> reversed(g.num_nodes(), 0.0);
+  WalkEngine(2).Run(g, config, 0, root, slices, reversed);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(forward[v], reversed[v], 1e-12) << "node " << v;
+  }
+}
+
+// Remedy through the engine: same bit-identity, at the RunRemedy level the
+// serve layer actually depends on.
+TEST(WalkEngineTest, RemedyBitIdenticalAcrossThreadCounts) {
+  const Graph g = ErdosRenyi(200, 1000, 3);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1.0 / 200.0;
+  config.p_f = 1e-6;
+  config.epsilon = 0.5;
+
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  const NodeId seeds[] = {NodeId{0}};
+  RunForwardSearch(g, config, 0, /*r_max=*/1e-3, seeds, false, state);
+  ASSERT_GT(state.ResidueSum(), 0.0);
+
+  auto run = [&](std::size_t threads) {
+    std::vector<Score> scores(g.num_nodes(), 0.0);
+    for (NodeId v : state.touched()) scores[v] = state.reserve(v);
+    Rng rng(31);  // fresh rng per run: identical walk_root each time
+    WalkEngine engine(threads);
+    RunRemedy(g, config, 0, state, rng, scores, 1.0, 0.0, &engine);
+    return scores;
+  };
+
+  const std::vector<Score> reference = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const std::vector<Score> scores = run(threads);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(scores[v], reference[v])
+          << "threads=" << threads << " node " << v;
+    }
+  }
+}
+
+// Solver-level determinism across walk_threads AND query order: two solvers
+// differing only in walk_threads, querying sources in opposite orders, must
+// agree bitwise on every source.
+TEST(WalkEngineTest, SolverQueriesAgreeAcrossThreadsAndQueryOrder) {
+  const Graph g = ErdosRenyi(400, 2400, 17);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1.0 / 400.0;
+  config.p_f = 1e-6;
+  config.epsilon = 0.5;
+
+  ResAccOptions sequential_options;
+  sequential_options.walk_threads = 1;
+  ResAccOptions parallel_options;
+  parallel_options.walk_threads = 8;
+
+  const NodeId sources[] = {NodeId{5}, NodeId{123}, NodeId{77}};
+  ResAccSolver sequential(g, config, sequential_options);
+  ResAccSolver parallel(g, config, parallel_options);
+
+  std::vector<std::vector<Score>> forward;
+  for (NodeId s : sources) forward.push_back(sequential.Query(s));
+  // Opposite order on the parallel solver.
+  std::vector<std::vector<Score>> backward(3);
+  for (int i = 2; i >= 0; --i) backward[i] = parallel.Query(sources[i]);
+
+  for (int i = 0; i < 3; ++i) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(forward[i][v], backward[i][v])
+          << "source " << sources[i] << " node " << v;
+    }
+  }
+}
+
+TEST(WalkEngineTest, MonteCarloBitIdenticalAcrossThreadCounts) {
+  const Graph g = ErdosRenyi(200, 1200, 23);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1.0 / 200.0;
+  config.p_f = 1e-4;
+
+  MonteCarlo sequential(g, config, /*walk_scale=*/0.05, /*walk_threads=*/1);
+  MonteCarlo parallel(g, config, /*walk_scale=*/0.05, /*walk_threads=*/4);
+  const std::vector<Score> a = sequential.Query(9);
+  const std::vector<Score> b = parallel.Query(9);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(a[v], b[v]) << "node " << v;
+  }
+}
+
+// The engine redistributes exactly the sliced mass (sum of
+// num_walks * weight), parallel path included.
+TEST(WalkEngineTest, ConservesSlicedMass) {
+  const Graph g = testing::CycleGraph(32);  // no sinks: nothing absorbed
+  const RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  const std::vector<WalkSlice> slices = MultiBlockSlices(g);
+  double expected = 0.0;
+  for (const WalkSlice& s : slices) {
+    expected += static_cast<double>(s.num_walks) * s.weight;
+  }
+
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  WalkEngine(4).Run(g, config, 0, Rng(5), slices, scores);
+  Score total = 0.0;
+  for (Score s : scores) total += s;
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+// --- Geometric length sampling (satellite d) ------------------------------
+
+class GeometricWalkTest : public ::testing::TestWithParam<DanglingPolicy> {};
+
+// The geometric-length walk must reproduce the per-step engine's terminal
+// distribution — Figure 1's graph has a sink, so this exercises the
+// dangling handling of both policies inside the pre-sampled loop.
+TEST_P(GeometricWalkTest, TerminalDistributionMatchesPerStepEngine) {
+  const DanglingPolicy policy = GetParam();
+  const Graph g = Figure1Graph();
+  const RwrConfig config = TestConfig(policy);
+  const double inv_log1m_alpha = InvLogOneMinusAlpha(config.alpha);
+
+  const int walks = 400000;
+  Rng step_rng(config.seed);
+  Rng geo_rng(config.seed + 1);
+  WalkStats step_stats;
+  WalkStats geo_stats;
+  std::vector<double> step_freq(g.num_nodes(), 0.0);
+  std::vector<double> geo_freq(g.num_nodes(), 0.0);
+  for (int i = 0; i < walks; ++i) {
+    ++step_freq[RandomWalkTerminal(g, config, 0, 0, step_rng, step_stats)];
+    ++geo_freq[RandomWalkTerminalGeometric(g, config, 0, 0, inv_log1m_alpha,
+                                           geo_rng, geo_stats)];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(geo_freq[v] / walks, step_freq[v] / walks, 0.005)
+        << "node " << v;
+  }
+  // Same walk-length law => same mean step count.
+  EXPECT_NEAR(static_cast<double>(geo_stats.steps) / walks,
+              static_cast<double>(step_stats.steps) / walks, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GeometricWalkTest,
+                         ::testing::Values(DanglingPolicy::kAbsorb,
+                                           DanglingPolicy::kBackToSource));
+
+TEST(GeometricWalkTest, LengthMatchesGeometricLaw) {
+  const double alpha = 0.2;
+  const double inv = InvLogOneMinusAlpha(alpha);
+  Rng rng(42);
+  const int draws = 500000;
+  double mean = 0.0;
+  std::uint64_t zeros = 0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t len = GeometricWalkLength(rng, inv);
+    mean += static_cast<double>(len);
+    zeros += len == 0 ? 1 : 0;
+  }
+  mean /= draws;
+  // E[L] = (1-alpha)/alpha = 4; P(L = 0) = alpha.
+  EXPECT_NEAR(mean, (1.0 - alpha) / alpha, 0.05);
+  EXPECT_NEAR(static_cast<double>(zeros) / draws, alpha, 0.005);
+}
+
+// --- Time budget (satellite a) --------------------------------------------
+
+// Regression for the remedy budget bug: the clock used to be checked only
+// between residual nodes, so ONE huge-residue node ran its full walk count
+// regardless of the budget. The engine checks every block (<= kBlockWalks
+// walks), so even a single-slice remedy must stop early.
+TEST(WalkEngineTest, BudgetStopsInsideSingleResidualNode) {
+  const Graph g = ErdosRenyi(500, 2500, 5);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1e-7;  // enormous walk demand
+  config.p_f = 1e-9;
+
+  // No push at all: the entire residue sits on one node.
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  ASSERT_EQ(state.touched().size(), 1u);
+
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  Rng rng(2);
+  WalkEngine engine(1);
+  const RemedyStats stats =
+      RunRemedy(g, config, 0, state, rng, scores, 1.0,
+                /*time_budget_seconds=*/1e-9, &engine);
+  EXPECT_TRUE(stats.budget_exhausted);
+  // Far short of the target: at most a few blocks can slip through before
+  // the first post-block check fires.
+  EXPECT_LT(static_cast<double>(stats.walks), stats.target_walks / 2.0);
+}
+
+TEST(WalkEngineTest, BudgetStopsParallelRuns) {
+  const Graph g = ErdosRenyi(500, 2500, 5);
+  RwrConfig config = TestConfig(DanglingPolicy::kAbsorb);
+  config.delta = 1e-7;
+  config.p_f = 1e-9;
+
+  PushState state(g.num_nodes());
+  state.SetResidue(0, 1.0);
+  std::vector<Score> scores(g.num_nodes(), 0.0);
+  Rng rng(2);
+  WalkEngine engine(4);
+  const RemedyStats stats =
+      RunRemedy(g, config, 0, state, rng, scores, 1.0,
+                /*time_budget_seconds=*/1e-9, &engine);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_LT(static_cast<double>(stats.walks), stats.target_walks / 2.0);
+}
+
+}  // namespace
+}  // namespace resacc

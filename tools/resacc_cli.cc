@@ -10,6 +10,8 @@
 // Graph files ending in .bin use the binary format; anything else is read
 // as a SNAP-style edge list. `--undirected` symmetrizes on load.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -52,14 +54,27 @@ Status SaveAny(const Graph& graph, const std::string& path) {
   return SaveEdgeList(graph, path);
 }
 
+// walk_threads: intra-query parallelism of the walk phase (resacc, fora,
+// mc; the other solvers have no walk phase). 0 = hardware concurrency.
+// Scores do not depend on it (walk_engine.h).
 std::unique_ptr<SsrwrAlgorithm> MakeSolver(const std::string& name,
                                            const Graph& graph,
-                                           const RwrConfig& config) {
+                                           const RwrConfig& config,
+                                           std::size_t walk_threads) {
   if (name == "resacc") {
-    return std::make_unique<ResAccSolver>(graph, config, ResAccOptions{});
+    ResAccOptions options;
+    options.walk_threads = walk_threads;
+    return std::make_unique<ResAccSolver>(graph, config, options);
   }
-  if (name == "fora") return std::make_unique<Fora>(graph, config);
-  if (name == "mc") return std::make_unique<MonteCarlo>(graph, config);
+  if (name == "fora") {
+    ForaOptions options;
+    options.walk_threads = walk_threads;
+    return std::make_unique<Fora>(graph, config, options);
+  }
+  if (name == "mc") {
+    return std::make_unique<MonteCarlo>(graph, config, /*walk_scale=*/1.0,
+                                        walk_threads);
+  }
   if (name == "power") {
     return std::make_unique<PowerIteration>(graph, config);
   }
@@ -175,7 +190,10 @@ int CmdQuery(const ArgParser& args, const Graph& graph) {
     std::fprintf(stderr, "--source out of range\n");
     return 2;
   }
-  auto solver = MakeSolver(args.GetString("algo", "resacc"), graph, config);
+  const std::size_t walk_threads =
+      static_cast<std::size_t>(args.GetInt("walk-threads", 0));
+  auto solver =
+      MakeSolver(args.GetString("algo", "resacc"), graph, config, walk_threads);
   if (solver == nullptr) return 1;
 
   Timer timer;
@@ -208,10 +226,20 @@ int CmdMsrwr(const ArgParser& args, const Graph& graph) {
   const std::size_t threads = static_cast<std::size_t>(
       args.GetInt("threads", static_cast<std::int64_t>(
                                  ThreadPool::DefaultThreads())));
+  // Split the machine between query-level and walk-level parallelism:
+  // each of the `threads` solvers gets hw/threads walk threads unless
+  // overridden. With a full pool this degenerates to walk_threads = 1,
+  // the one-solver-per-worker rule of walk_engine.h.
+  const std::size_t default_walk_threads =
+      std::max<std::size_t>(1, ThreadPool::DefaultThreads() / threads);
+  const std::size_t walk_threads = static_cast<std::size_t>(args.GetInt(
+      "walk-threads", static_cast<std::int64_t>(default_walk_threads)));
   ThreadPool pool(threads);
   Timer timer;
   const auto results = ParallelQueryMany(pool, sources, [&] {
-    return std::make_unique<ResAccSolver>(graph, config, ResAccOptions{});
+    ResAccOptions options;
+    options.walk_threads = walk_threads;
+    return std::make_unique<ResAccSolver>(graph, config, options);
   });
   std::printf("MSRWR over %zu sources on %zu threads: %s\n", sources.size(),
               threads, FmtSeconds(timer.ElapsedSeconds()).c_str());
@@ -273,8 +301,11 @@ void PrintUsage() {
       "  generate --type=chunglu|er|ba|ws|sbm|dataset [opts] <out>\n"
       "  stats <graph> [--histogram]\n"
       "  query <graph> --source=N [--algo=resacc|fora|fora+|mc|power|topppr|tpa]\n"
-      "                [--topk=K] [--alpha=A] [--epsilon=E]\n"
-      "  msrwr <graph> --sources=1,2,3 [--threads=T]\n"
+      "                [--topk=K] [--alpha=A] [--epsilon=E] [--walk-threads=W]\n"
+      "                (W threads for the walk phase; 0 = all cores;\n"
+      "                 scores are identical for every W)\n"
+      "  msrwr <graph> --sources=1,2,3 [--threads=T] [--walk-threads=W]\n"
+      "                (default W = cores/T, walk parallelism per solver)\n"
       "  communities <graph> [--count=C] [--print]\n"
       "  convert <in> <out>\n\n"
       "graphs: *.bin = resacc binary, otherwise edge-list text\n"

@@ -3,7 +3,7 @@
 //   resacc_serve <graph> [--undirected] [--workers=N] [--queue=N]
 //                [--cache-mb=M] [--no-coalesce] [--deadline-ms=D]
 //                [--window=W] [--alpha=A] [--epsilon=E] [--seed=S]
-//                [--dangling=absorb|source]
+//                [--dangling=absorb|source] [--walk-threads=W]
 //
 // Protocol (one request per line on stdin, one response line on stdout,
 // responses in request order):
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: resacc_serve <graph> [--workers=N] [--queue=N] "
                  "[--cache-mb=M] [--no-coalesce] [--deadline-ms=D] "
-                 "[--window=W]\n");
+                 "[--window=W] [--walk-threads=W]\n");
     return 2;
   }
 
@@ -103,6 +103,12 @@ int main(int argc, char** argv) {
   options.coalesce = !args.HasFlag("no-coalesce");
   options.default_deadline_seconds =
       args.GetDouble("deadline-ms", 0.0) / 1e3;
+  // Walk-phase threads per worker solver. Default 1: the service already
+  // runs one solver per worker, and scores never depend on this knob
+  // (walk_engine.h), so raising it only trades worker throughput for
+  // single-query latency — useful with --workers=1 on a big machine.
+  options.solver.walk_threads =
+      static_cast<std::size_t>(args.GetInt("walk-threads", 1));
 
   QueryService service(graph.value(), config, options);
   const std::size_t window = static_cast<std::size_t>(args.GetInt(
