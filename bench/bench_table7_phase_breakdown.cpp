@@ -2,11 +2,43 @@
 // (h-HopFWD / OMFWD / Remedy) on each dataset stand-in.
 // Paper shape (average over 6 datasets): h-HopFWD ~1.8%, OMFWD ~64.6%,
 // Remedy ~33.6% of total query time.
+//
+// Doubles as the cross-check of the observability surface: the solver
+// exports the same phase timings to MetricsRegistry::Global()
+// (resacc_solver_phase_seconds{phase=...}), so the registry deltas over
+// the run must match the timer sums accumulated here. A >5% disagreement
+// fails the bench (exit 1) — it would mean the metrics a production
+// scrape sees have drifted from what the solver measures.
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "resacc/core/resacc_solver.h"
+#include "resacc/obs/metrics_registry.h"
+
+namespace {
+
+// Sum of a metric family's `value` (for histograms: the recorded-value
+// sum) across its label variants in a snapshot.
+double FamilySum(const std::vector<resacc::MetricsRegistry::Sample>& samples,
+                 const std::string& name) {
+  double sum = 0.0;
+  for (const auto& sample : samples) {
+    if (sample.name == name) sum += sample.value;
+  }
+  return sum;
+}
+
+bool Within(double metric, double timer, double tolerance) {
+  if (timer <= 0.0) return metric <= 0.0;
+  return std::fabs(metric - timer) / timer <= tolerance;
+}
+
+}  // namespace
 
 int main() {
   using namespace resacc;
@@ -24,6 +56,11 @@ int main() {
   double total_hop_fraction = 0.0;
   double total_omfwd_fraction = 0.0;
   double total_remedy_fraction = 0.0;
+  double timer_hop = 0.0;
+  double timer_omfwd = 0.0;
+  double timer_remedy = 0.0;
+  double timer_total = 0.0;
+  const auto before = MetricsRegistry::Global().TakeSnapshot();
   for (const auto& ds : datasets) {
     const RwrConfig config = BenchConfig(ds.graph, env.seed);
     ResAccOptions options;
@@ -51,6 +88,10 @@ int main() {
     total_hop_fraction += hop / total;
     total_omfwd_fraction += omfwd / total;
     total_remedy_fraction += remedy / total;
+    timer_hop += hop;
+    timer_omfwd += omfwd;
+    timer_remedy += remedy;
+    timer_total += total;
   }
   table.Print(stdout);
   const double inv = 100.0 / static_cast<double>(datasets.size());
@@ -58,5 +99,32 @@ int main() {
               "Remedy %.2f%% (paper: 1.79%% / 64.58%% / 33.63%%)\n",
               total_hop_fraction * inv, total_omfwd_fraction * inv,
               total_remedy_fraction * inv);
+
+  // Cross-check: registry deltas vs the timer sums above.
+  const auto after = MetricsRegistry::Global().TakeSnapshot();
+  const struct {
+    const char* label;
+    const char* metric;
+    double timer_sum;
+  } checks[] = {
+      {"hhop+omfwd+remedy", "resacc_solver_phase_seconds",
+       timer_hop + timer_omfwd + timer_remedy},
+      {"total", "resacc_solver_query_seconds", timer_total},
+  };
+  bool ok = true;
+  for (const auto& check : checks) {
+    const double delta = FamilySum(after, check.metric) -
+                         FamilySum(before, check.metric);
+    const bool pass = Within(delta, check.timer_sum, 0.05);
+    std::printf("metrics cross-check %-18s timers=%.6fs registry=%.6fs %s\n",
+                check.label, check.timer_sum, delta,
+                pass ? "ok" : "MISMATCH");
+    ok = ok && pass;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "phase metrics diverged >5%% from solver timers\n");
+    return 1;
+  }
   return 0;
 }

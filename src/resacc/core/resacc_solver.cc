@@ -3,10 +3,44 @@
 #include <utility>
 
 #include "resacc/core/omfwd.h"
+#include "resacc/obs/metrics_registry.h"
+#include "resacc/obs/trace.h"
 #include "resacc/util/check.h"
 #include "resacc/util/timer.h"
 
 namespace resacc {
+namespace {
+
+// Process-wide phase latency surface (Table VII as metrics). Function-local
+// statics: registered once, then each Record is a handful of relaxed
+// atomics — safe to leave on for every query.
+struct SolverMetrics {
+  Counter& queries;
+  LatencyHistogram& hhop;
+  LatencyHistogram& omfwd;
+  LatencyHistogram& remedy;
+  LatencyHistogram& total;
+
+  static SolverMetrics& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static SolverMetrics metrics{
+        registry.GetCounter("resacc_solver_queries_total", "",
+                            "Single-source RWR queries answered."),
+        registry.GetHistogram("resacc_solver_phase_seconds",
+                              "phase=\"hhop\"",
+                              "Per-query phase latency (Table VII split)."),
+        registry.GetHistogram("resacc_solver_phase_seconds",
+                              "phase=\"omfwd\""),
+        registry.GetHistogram("resacc_solver_phase_seconds",
+                              "phase=\"remedy\""),
+        registry.GetHistogram("resacc_solver_query_seconds", "",
+                              "End-to-end single-source query latency."),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ResAccSolver::ResAccSolver(const Graph& graph, const RwrConfig& config,
                            const ResAccOptions& options)
@@ -29,6 +63,7 @@ ResAccSolver::ResAccSolver(const Graph& graph, const RwrConfig& config,
 
 std::vector<Score> ResAccSolver::Query(NodeId source) {
   RESACC_CHECK(source < graph_.num_nodes());
+  RESACC_SPAN("query");
   last_stats_ = ResAccQueryStats();
   Timer total;
 
@@ -48,15 +83,21 @@ std::vector<Score> ResAccSolver::Query(NodeId source) {
   hhop_options.max_hop_set_fraction = options_.max_hop_set_fraction;
 
   HopLayers layers;
-  last_stats_.hhop =
-      RunHHopFwd(graph_, config_, source, hhop_options, state_, &layers);
+  {
+    RESACC_SPAN("hhop_fwd");
+    last_stats_.hhop =
+        RunHHopFwd(graph_, config_, source, hhop_options, state_, &layers);
+  }
   last_stats_.hhop_seconds = phase.ElapsedSeconds();
 
   // Phase 2: OMFWD from the accumulated frontier.
   phase.Restart();
-  if (options_.use_omfwd && !layers.layers.empty()) {
-    last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
-                                      layers.layers.back(), state_);
+  {
+    RESACC_SPAN("omfwd");
+    if (options_.use_omfwd && !layers.layers.empty()) {
+      last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
+                                        layers.layers.back(), state_);
+    }
   }
   last_stats_.omfwd_seconds = phase.ElapsedSeconds();
   last_stats_.residue_sum_after_omfwd = state_.ResidueSum();
@@ -66,13 +107,23 @@ std::vector<Score> ResAccSolver::Query(NodeId source) {
   std::vector<Score> scores(graph_.num_nodes(), 0.0);
   for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
   Rng query_rng = rng_.Fork(source);
-  last_stats_.remedy =
-      RunRemedy(graph_, config_, source, state_, query_rng, scores,
-                options_.walk_scale, /*time_budget_seconds=*/0.0,
-                &walk_engine_);
+  {
+    RESACC_SPAN("remedy");
+    last_stats_.remedy =
+        RunRemedy(graph_, config_, source, state_, query_rng, scores,
+                  options_.walk_scale, /*time_budget_seconds=*/0.0,
+                  &walk_engine_);
+  }
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
 
   last_stats_.total_seconds = total.ElapsedSeconds();
+
+  SolverMetrics& metrics = SolverMetrics::Get();
+  metrics.queries.Increment();
+  metrics.hhop.Record(last_stats_.hhop_seconds);
+  metrics.omfwd.Record(last_stats_.omfwd_seconds);
+  metrics.remedy.Record(last_stats_.remedy_seconds);
+  metrics.total.Record(last_stats_.total_seconds);
   return scores;
 }
 

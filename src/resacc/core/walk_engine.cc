@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "resacc/core/random_walk.h"
+#include "resacc/obs/metrics_registry.h"
+#include "resacc/obs/trace.h"
 #include "resacc/util/check.h"
 #include "resacc/util/timer.h"
 
@@ -54,6 +56,35 @@ void WalkBlock(const Graph& graph, const RwrConfig& config,
   }
 }
 
+// Per-Run flush of engine totals into the process-wide registry: the hot
+// loop never touches an atomic, so instrumentation stays within the <=2%
+// overhead budget (ISSUE 3 acceptance; verified by bench_micro).
+void FlushGlobalMetrics(const WalkEngineStats& stats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& runs = registry.GetCounter(
+      "resacc_walk_engine_runs_total", "",
+      "WalkEngine::Run invocations (one per remedy phase).");
+  static Counter& blocks = registry.GetCounter(
+      "resacc_walk_engine_blocks_total", "",
+      "Walk blocks scheduled (<= kBlockWalks walks each).");
+  static Counter& walks = registry.GetCounter(
+      "resacc_walk_engine_walks_total", "", "Random walks simulated.");
+  static Counter& steps = registry.GetCounter(
+      "resacc_walk_engine_steps_total", "", "Random-walk steps taken.");
+  static Counter& stalls = registry.GetCounter(
+      "resacc_walk_engine_reorder_stalls_total", "",
+      "Worker waits because the ordered-merge reorder window was full.");
+  static Counter& exhausted = registry.GetCounter(
+      "resacc_walk_engine_budget_exhausted_total", "",
+      "Runs truncated by the walk time budget.");
+  runs.Increment();
+  blocks.Increment(stats.blocks);
+  walks.Increment(stats.walks);
+  steps.Increment(stats.steps);
+  stalls.Increment(stats.reorder_stalls);
+  if (stats.budget_exhausted) exhausted.Increment();
+}
+
 }  // namespace
 
 WalkEngine::WalkEngine(std::size_t walk_threads)
@@ -77,6 +108,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
                                 std::vector<Score>& scores,
                                 double time_budget_seconds) {
   RESACC_CHECK(scores.size() == graph.num_nodes());
+  RESACC_SPAN("walk_engine");
   WalkEngineStats stats;
   const std::vector<Block> blocks = BuildBlocks(slices);
   if (blocks.empty()) return stats;
@@ -109,6 +141,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
     }
     stats.walks = walk_stats.walks;
     stats.steps = walk_stats.steps;
+    FlushGlobalMetrics(stats);
     return stats;
   }
 
@@ -132,6 +165,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
   std::condition_variable block_ready;  // a block published its result
   std::size_t next_block = 0;
   std::size_t merged = 0;
+  std::uint64_t reorder_stalls = 0;
   const std::size_t window = std::max<std::size_t>(4 * workers, 16);
   std::atomic<bool> exhausted{false};
 
@@ -143,6 +177,9 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
         std::size_t index;
         {
           std::unique_lock<std::mutex> lock(mutex);
+          if (next_block < blocks.size() && next_block >= merged + window) {
+            ++reorder_stalls;  // merge frontier is behind; worker must wait
+          }
           window_open.wait(lock, [&] {
             return next_block >= blocks.size() ||
                    next_block < merged + window;
@@ -190,7 +227,9 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
     stats.walks += ws.walks;
     stats.steps += ws.steps;
   }
+  stats.reorder_stalls = reorder_stalls;
   stats.budget_exhausted = exhausted.load(std::memory_order_relaxed);
+  FlushGlobalMetrics(stats);
   return stats;
 }
 

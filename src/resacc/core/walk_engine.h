@@ -31,6 +31,7 @@ struct WalkEngineStats {
   std::uint64_t walks = 0;
   std::uint64_t steps = 0;
   std::uint64_t blocks = 0;          // scheduling blocks formed
+  std::uint64_t reorder_stalls = 0;  // worker waits on a full reorder window
   bool budget_exhausted = false;     // stopped early by the time budget
 };
 

@@ -1,0 +1,231 @@
+#include "resacc/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace resacc {
+namespace {
+
+// compare_exchange loop instead of fetch_add so only C++17-era
+// std::atomic<double> is required (same idiom as histogram.cc).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+const char* TypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+void AppendNumber(std::string& out, double value) {
+  char buf[64];
+  // %.10g keeps counters exact up to 2^33 and latencies to 10 significant
+  // digits without trailing zero noise.
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out += buf;
+}
+
+void AppendSeries(std::string& out, const std::string& name,
+                  const std::string& labels, const char* extra_label,
+                  double value) {
+  out += name;
+  if (!labels.empty() || extra_label != nullptr) {
+    out += '{';
+    out += labels;
+    if (extra_label != nullptr) {
+      if (!labels.empty()) out += ',';
+      out += extra_label;
+    }
+    out += '}';
+  }
+  out += ' ';
+  AppendNumber(out, value);
+  out += '\n';
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindLocked(const std::string& name,
+                                                    const std::string& labels,
+                                                    MetricKind kind) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels &&
+        entry->kind == kind && entry->callback_id == 0) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels, MetricKind::kCounter)) {
+    return *existing->counter;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = MetricKind::kCounter;
+  entry->counter.reset(new Counter());
+  Counter& counter = *entry->counter;
+  entries_.push_back(std::move(entry));
+  return counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels, MetricKind::kGauge)) {
+    return *existing->gauge;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = MetricKind::kGauge;
+  entry->gauge.reset(new Gauge());
+  Gauge& gauge = *entry->gauge;
+  entries_.push_back(std::move(entry));
+  return gauge;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& labels,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, labels, MetricKind::kHistogram)) {
+    return *existing->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = MetricKind::kHistogram;
+  entry->histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram& histogram = *entry->histogram;
+  entries_.push_back(std::move(entry));
+  return histogram;
+}
+
+std::uint64_t MetricsRegistry::RegisterCallback(MetricKind kind,
+                                                const std::string& name,
+                                                const std::string& labels,
+                                                const std::string& help,
+                                                std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = kind;
+  entry->callback = std::move(fn);
+  entry->callback_id = next_callback_id_++;
+  const std::uint64_t id = entry->callback_id;
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+void MetricsRegistry::UnregisterCallback(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const std::unique_ptr<Entry>& entry) {
+                                  return entry->callback_id == id;
+                                }),
+                 entries_.end());
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::TakeSnapshot() const {
+  std::vector<Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      Sample sample;
+      sample.name = entry->name;
+      sample.labels = entry->labels;
+      sample.help = entry->help;
+      sample.kind = entry->kind;
+      if (entry->callback) {
+        sample.value = entry->callback();
+      } else if (entry->counter) {
+        sample.value = static_cast<double>(entry->counter->Value());
+      } else if (entry->gauge) {
+        sample.value = entry->gauge->Value();
+      } else if (entry->histogram) {
+        sample.histogram = entry->histogram->TakeSnapshot();
+        sample.value = sample.histogram.mean *
+                       static_cast<double>(sample.histogram.count);
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const std::vector<Sample> samples = TakeSnapshot();
+  std::string out;
+  out.reserve(samples.size() * 96);
+  const std::string* previous_name = nullptr;
+  for (const Sample& sample : samples) {
+    if (previous_name == nullptr || *previous_name != sample.name) {
+      if (!sample.help.empty()) {
+        out += "# HELP " + sample.name + " " + sample.help + "\n";
+      }
+      out += "# TYPE " + sample.name + " ";
+      out += TypeName(sample.kind);
+      out += '\n';
+    }
+    previous_name = &sample.name;
+    if (sample.kind == MetricKind::kHistogram) {
+      const LatencyHistogram::Snapshot& h = sample.histogram;
+      AppendSeries(out, sample.name, sample.labels, "quantile=\"0.5\"",
+                   h.p50);
+      AppendSeries(out, sample.name, sample.labels, "quantile=\"0.95\"",
+                   h.p95);
+      AppendSeries(out, sample.name, sample.labels, "quantile=\"0.99\"",
+                   h.p99);
+      AppendSeries(out, sample.name + "_sum", sample.labels, nullptr,
+                   sample.value);
+      AppendSeries(out, sample.name + "_count", sample.labels, nullptr,
+                   static_cast<double>(h.count));
+    } else {
+      AppendSeries(out, sample.name, sample.labels, nullptr, sample.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace resacc

@@ -1,0 +1,150 @@
+#ifndef RESACC_OBS_METRICS_REGISTRY_H_
+#define RESACC_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "resacc/util/histogram.h"
+
+namespace resacc {
+
+// Monotonic event counter. Increment is a single relaxed atomic add, cheap
+// enough for per-query (not per-walk-step) call sites; hot loops accumulate
+// locally and flush once per batch (the walk engine flushes per Run).
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time value that can go up and down (queue depth, cache bytes).
+// For values derivable from existing state, prefer a callback metric
+// (MetricsRegistry::RegisterCallback) over pushing updates into a Gauge —
+// see DESIGN.md "Observability" for why the registry scrapes, not pushes.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Process-wide (or per-subsystem) registry of named metrics.
+//
+// Design: the hot path touches only the metric objects themselves — stable
+// pointers handed out at registration, incremented with relaxed atomics, no
+// registry lock anywhere near Record()/Increment(). The registry mutex
+// guards registration and scraping only (both cold). Metrics are never
+// removed once registered (callbacks are the exception, because they borrow
+// state the registry does not own), so a `Counter&` obtained once — e.g. a
+// function-local static in a solver — stays valid for the process lifetime.
+//
+// `MetricsRegistry::Global()` is the process-wide instance the solver and
+// walk-engine instrumentation use. Subsystems that need isolated counts
+// (one QueryService per test, say) construct their own registry.
+//
+// Naming follows the Prometheus convention: `snake_case` metric names,
+// `_total` suffix on counters, base units in the name (`_seconds`,
+// `_bytes`); `labels` is the raw label body, e.g. `phase="omfwd"`. Metrics
+// are keyed by (name, labels), so the same base name with different labels
+// yields distinct series that share one `# TYPE` line in the exposition.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry. Never destroyed (intentionally leaked), so
+  // instrumentation in static destructors cannot crash.
+  static MetricsRegistry& Global();
+
+  // Registration is idempotent: the same (name, labels) returns the same
+  // object, so independent call sites may share a series. The first
+  // registration's help text wins.
+  Counter& GetCounter(const std::string& name, const std::string& labels = "",
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "",
+                  const std::string& help = "");
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const std::string& labels = "",
+                                 const std::string& help = "");
+
+  // Lazily-evaluated metric: `fn` runs at snapshot/exposition time on the
+  // scraping thread (snapshot-on-scrape — the owner keeps its state in
+  // whatever form is natural and pays nothing between scrapes). The owner
+  // MUST call UnregisterCallback (with the returned id) before the state
+  // captured by `fn` dies. `kind` controls the exposition TYPE line only.
+  std::uint64_t RegisterCallback(MetricKind kind, const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help,
+                                 std::function<double()> fn);
+  void UnregisterCallback(std::uint64_t id);
+
+  // One scraped series. For kHistogram, `value` is the recorded-value sum
+  // (the Prometheus `_sum` series) and `histogram` holds the quantiles.
+  struct Sample {
+    std::string name;
+    std::string labels;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;
+    LatencyHistogram::Snapshot histogram;
+  };
+
+  // Consistent-enough view for monitoring: each series is read atomically,
+  // the set of series is read under the registry lock. Sorted by
+  // (name, labels).
+  std::vector<Sample> TakeSnapshot() const;
+
+  // Prometheus text exposition (version 0.0.4): `# HELP` / `# TYPE` lines
+  // per metric family, histograms rendered as summaries with
+  // quantile="0.5|0.95|0.99" series plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  // Registered series count (all kinds), for tests.
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+    std::function<double()> callback;  // callback metrics only
+    std::uint64_t callback_id = 0;     // 0 = not a callback
+  };
+
+  Entry* FindLocked(const std::string& name, const std::string& labels,
+                    MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,56 @@
+#include "resacc/obs/stats_reporter.h"
+
+#include <chrono>
+#include <utility>
+
+#include "resacc/util/check.h"
+
+namespace resacc {
+
+StatsReporter::StatsReporter(double interval_seconds,
+                             std::function<std::string()> producer,
+                             std::FILE* out)
+    : interval_seconds_(interval_seconds),
+      producer_(std::move(producer)),
+      out_(out) {
+  RESACC_CHECK(interval_seconds_ > 0.0);
+  RESACC_CHECK(producer_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t StatsReporter::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_written_;
+}
+
+void StatsReporter::Loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(interval_seconds_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    lock.unlock();
+    const std::string line = producer_();
+    if (!line.empty()) {
+      std::fprintf(out_, "%s\n", line.c_str());
+      std::fflush(out_);
+    }
+    lock.lock();
+    if (!line.empty()) ++lines_written_;
+  }
+}
+
+}  // namespace resacc

@@ -1,0 +1,53 @@
+#ifndef RESACC_OBS_STATS_REPORTER_H_
+#define RESACC_OBS_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace resacc {
+
+// Periodically invokes a producer and writes its structured one-line
+// output to a stream — the log-scraping complement to pull-based
+// exposition: operators without a Prometheus scraper still get a
+// machine-parseable `key=value` heartbeat in the server log.
+//
+// The producer runs on the reporter thread; it must be thread-safe with
+// respect to whatever it reads (ServerStats::ToLine over a QueryService
+// snapshot is the canonical use). An empty returned string suppresses
+// that tick's line. Stop() (also run by the destructor) wakes the thread
+// and joins it; a final line is NOT emitted on stop.
+class StatsReporter {
+ public:
+  StatsReporter(double interval_seconds, std::function<std::string()> producer,
+                std::FILE* out = stderr);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Stop();
+
+  // Lines written so far (for tests; relaxed read).
+  std::uint64_t lines_written() const;
+
+ private:
+  void Loop();
+
+  const double interval_seconds_;
+  const std::function<std::string()> producer_;
+  std::FILE* const out_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t lines_written_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_OBS_STATS_REPORTER_H_

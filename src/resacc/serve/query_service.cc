@@ -31,7 +31,71 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
                    options.cache_tag),
       queue_(std::max<std::size_t>(options.queue_capacity, 1)),
       cache_(options.cache_bytes,
-             std::max<std::size_t>(options.cache_shards, 1)) {
+             std::max<std::size_t>(options.cache_shards, 1)),
+      owned_registry_(options.metrics_registry
+                          ? nullptr
+                          : std::make_unique<MetricsRegistry>()),
+      registry_(options.metrics_registry ? *options.metrics_registry
+                                         : *owned_registry_),
+      submitted_(registry_.GetCounter(
+          options_.metrics_prefix + "_submitted_total", "",
+          "Requests accepted (cache hits and coalesced included).")),
+      completed_(registry_.GetCounter(
+          options_.metrics_prefix + "_completed_total", "",
+          "Requests answered OK (any path: cache, coalesce, compute).")),
+      rejected_(registry_.GetCounter(
+          options_.metrics_prefix + "_rejected_total", "",
+          "Requests refused with kResourceExhausted (queue full).")),
+      expired_(registry_.GetCounter(
+          options_.metrics_prefix + "_expired_total", "",
+          "Requests expired with kDeadlineExceeded while queued.")),
+      coalesced_(registry_.GetCounter(
+          options_.metrics_prefix + "_coalesced_total", "",
+          "Requests attached to an in-flight computation.")),
+      computed_(registry_.GetCounter(
+          options_.metrics_prefix + "_computed_total", "",
+          "Solver runs (cache/coalesce suppress these).")),
+      latency_(registry_.GetHistogram(
+          options_.metrics_prefix + "_latency_seconds", "",
+          "Submit-to-completion latency of OK responses.")) {
+  const std::string& prefix = options_.metrics_prefix;
+  auto add_callback = [this](MetricKind kind, const std::string& name,
+                             const std::string& help,
+                             std::function<double()> fn) {
+    callback_ids_.push_back(
+        registry_.RegisterCallback(kind, name, "", help, std::move(fn)));
+  };
+  add_callback(MetricKind::kCounter, prefix + "_cache_hits_total",
+               "Result-cache hits.",
+               [this] { return static_cast<double>(cache_.counters().hits); });
+  add_callback(
+      MetricKind::kCounter, prefix + "_cache_misses_total",
+      "Result-cache misses.",
+      [this] { return static_cast<double>(cache_.counters().misses); });
+  add_callback(
+      MetricKind::kCounter, prefix + "_cache_evictions_total",
+      "Result-cache evictions.",
+      [this] { return static_cast<double>(cache_.counters().evictions); });
+  add_callback(
+      MetricKind::kGauge, prefix + "_cache_bytes",
+      "Result-cache resident payload bytes.",
+      [this] { return static_cast<double>(cache_.counters().bytes); });
+  add_callback(
+      MetricKind::kGauge, prefix + "_cache_entries",
+      "Result-cache resident entries.",
+      [this] { return static_cast<double>(cache_.counters().entries); });
+  add_callback(MetricKind::kGauge, prefix + "_queue_depth",
+               "Jobs waiting in the submission queue.",
+               [this] { return static_cast<double>(queue_.size()); });
+  add_callback(MetricKind::kGauge, prefix + "_queue_capacity",
+               "Submission queue capacity.",
+               [this] { return static_cast<double>(queue_.capacity()); });
+  add_callback(MetricKind::kGauge, prefix + "_workers", "Worker threads.",
+               [this] { return static_cast<double>(solvers_.size()); });
+  add_callback(MetricKind::kGauge, prefix + "_uptime_seconds",
+               "Seconds since service construction.",
+               [this] { return uptime_.ElapsedSeconds(); });
+
   const std::size_t workers = options.num_workers > 0
                                   ? options.num_workers
                                   : ThreadPool::DefaultThreads();
@@ -49,7 +113,13 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
   }
 }
 
-QueryService::~QueryService() { Stop(); }
+QueryService::~QueryService() {
+  Stop();
+  // The callbacks borrow cache_/queue_/uptime_; detach them before those
+  // members die (a no-op consequence for an owned registry, essential for
+  // a shared one that outlives this service).
+  for (std::uint64_t id : callback_ids_) registry_.UnregisterCallback(id);
+}
 
 void QueryService::Stop() {
   {
@@ -99,8 +169,8 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     waiter.submit_time = t0;
     QueryResponse response = MakeResponse(hit, waiter, Status::Ok());
     response.cache_hit = true;
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    submitted_.Increment();
+    completed_.Increment();
     latency_.Record(response.latency_seconds);
     return ReadyResponse(std::move(response));
   }
@@ -131,8 +201,8 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     if (it != inflight_.end()) {
       waiter.coalesced = true;
       it->second->waiters.push_back(std::move(waiter));
-      submitted_.fetch_add(1, std::memory_order_relaxed);
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      submitted_.Increment();
+      coalesced_.Increment();
       return future;
     }
   }
@@ -146,7 +216,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   job->waiters.push_back(std::move(waiter));
 
   if (!queue_.TryPush(job)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Increment();
     QueryResponse response;
     response.status = Status::ResourceExhausted(
         "submission queue full (" + std::to_string(queue_.capacity()) +
@@ -156,7 +226,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     return future;
   }
   if (options_.coalesce) inflight_[request.source] = job;
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.Increment();
   return future;
 }
 
@@ -180,7 +250,7 @@ void QueryService::WorkerLoop(std::size_t worker_index) {
 
     auto scores = std::make_shared<const std::vector<Score>>(
         solver.Query(job->source));
-    computed_.fetch_add(1, std::memory_order_relaxed);
+    computed_.Increment();
     cache_.Insert(CacheKey{config_hash_, job->source}, scores);
     FinalizeJob(job, std::move(scores), Status::Ok());
   }
@@ -202,23 +272,25 @@ void QueryService::FinalizeJob(
   for (Waiter& waiter : waiters) {
     QueryResponse response = MakeResponse(scores, waiter, status);
     if (status.ok()) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_.Increment();
       latency_.Record(response.latency_seconds);
     } else {
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      expired_.Increment();
     }
     waiter.promise.set_value(std::move(response));
   }
 }
 
 ServerStats QueryService::Snapshot() const {
+  // A projection of the metrics registry: every number below is read from
+  // (or is the state behind) a registered series, never a second copy.
   ServerStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.expired = expired_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.computed = computed_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_.Value();
+  stats.completed = completed_.Value();
+  stats.rejected = rejected_.Value();
+  stats.expired = expired_.Value();
+  stats.coalesced = coalesced_.Value();
+  stats.computed = computed_.Value();
 
   const ResultCache::Counters cache = cache_.counters();
   stats.cache_hits = cache.hits;

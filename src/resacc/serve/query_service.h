@@ -8,11 +8,13 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "resacc/core/resacc_solver.h"
+#include "resacc/obs/metrics_registry.h"
 #include "resacc/core/rwr_config.h"
 #include "resacc/core/ssrwr_algorithm.h"
 #include "resacc/graph/graph.h"
@@ -66,6 +68,18 @@ struct ServeOptions {
   // Observability/test hook, invoked on the worker thread right after a
   // job is dequeued (before the deadline check and the solver call).
   std::function<void(NodeId)> dequeue_hook;
+
+  // Registry the service's metrics live in. Null (the default) gives the
+  // service a private registry, so counts are exactly this instance's —
+  // what the unit tests assert against. Pass &MetricsRegistry::Global()
+  // (as resacc_serve does) to expose the service alongside the solver and
+  // walk-engine series in one scrape. Two services sharing one registry
+  // must use distinct prefixes, or their series collide.
+  MetricsRegistry* metrics_registry = nullptr;
+
+  // Prefix of every metric this service registers, e.g.
+  // `resacc_serve_completed_total`.
+  std::string metrics_prefix = "resacc_serve";
 };
 
 struct QueryRequest {
@@ -128,7 +142,14 @@ class QueryService {
   // Blocking convenience wrapper around Submit.
   QueryResponse Query(const QueryRequest& request);
 
+  // Point-in-time view of the service assembled from the metrics registry
+  // — the registry is the single source of truth; this struct is a
+  // convenience projection of it (server_stats.h renders it for humans).
   ServerStats Snapshot() const;
+
+  // The registry holding this service's series (owned or shared per
+  // ServeOptions::metrics_registry). Scrape with RenderPrometheus().
+  MetricsRegistry& metrics() const { return registry_; }
 
   // Drains queued work, stops the workers. Idempotent, thread-safe.
   void Stop();
@@ -181,13 +202,22 @@ class QueryService {
   std::atomic<bool> stopped_{false};
 
   Timer uptime_;
-  LatencyHistogram latency_;
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> expired_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> computed_{0};
+
+  // Service metrics, owned by the registry (ServerStats is a view of
+  // these, not a parallel set of counters). Declared after registry_ —
+  // the references are bound from it in the constructor init list.
+  std::unique_ptr<MetricsRegistry> owned_registry_;  // null when shared
+  MetricsRegistry& registry_;
+  Counter& submitted_;
+  Counter& completed_;
+  Counter& rejected_;
+  Counter& expired_;
+  Counter& coalesced_;
+  Counter& computed_;
+  LatencyHistogram& latency_;
+  // Callback series (cache/queue/uptime gauges) to unregister before the
+  // state they borrow dies.
+  std::vector<std::uint64_t> callback_ids_;
 };
 
 }  // namespace resacc

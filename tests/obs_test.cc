@@ -1,0 +1,300 @@
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/obs/metrics_registry.h"
+#include "resacc/obs/stats_reporter.h"
+#include "resacc/obs/trace.h"
+
+namespace resacc {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("requests_total");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+
+  Gauge& gauge = registry.GetGauge("depth");
+  gauge.Set(3.0);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("hits_total", "", "first help wins");
+  Counter& b = registry.GetCounter("hits_total", "", "ignored");
+  EXPECT_EQ(&a, &b);
+
+  // Different labels are a different series under the same family.
+  Counter& c = registry.GetCounter("hits_total", "shard=\"1\"");
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.size(), 2u);
+
+  a.Increment(7);
+  const auto samples = registry.TakeSnapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "hits_total");
+  EXPECT_EQ(samples[0].help, "first help wins");
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra_total");
+  registry.GetGauge("alpha");
+  registry.GetCounter("mid_total", "phase=\"b\"");
+  registry.GetCounter("mid_total", "phase=\"a\"");
+  const auto samples = registry.TakeSnapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].labels, "phase=\"a\"");
+  EXPECT_EQ(samples[2].labels, "phase=\"b\"");
+  EXPECT_EQ(samples[3].name, "zebra_total");
+}
+
+TEST(MetricsRegistryTest, HistogramSampleCarriesSumAndQuantiles) {
+  MetricsRegistry registry;
+  LatencyHistogram& histogram = registry.GetHistogram("latency_seconds");
+  histogram.Record(0.010);
+  histogram.Record(0.020);
+  const auto samples = registry.TakeSnapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricKind::kHistogram);
+  EXPECT_NEAR(samples[0].value, 0.030, 1e-12);  // _sum
+  EXPECT_EQ(samples[0].histogram.count, 2u);
+  EXPECT_GT(samples[0].histogram.p50, 0.0);
+}
+
+TEST(MetricsRegistryTest, CallbackMetricsEvaluateAtScrapeTime) {
+  MetricsRegistry registry;
+  double state = 1.0;
+  const std::uint64_t id = registry.RegisterCallback(
+      MetricKind::kGauge, "live_value", "", "", [&state] { return state; });
+  state = 5.0;  // changed after registration, read at scrape
+  auto samples = registry.TakeSnapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 5.0);
+
+  registry.UnregisterCallback(id);
+  EXPECT_TRUE(registry.TakeSnapshot().empty());
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", "", "Requests.").Increment(3);
+  registry.GetGauge("depth").Set(2.0);
+  registry.GetHistogram("lat_seconds").Record(0.5);
+  const std::string text = registry.RenderPrometheus();
+
+  EXPECT_NE(text.find("# HELP req_total Requests.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds summary\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SharedFamilyEmitsOneTypeLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("phase_total", "phase=\"a\"").Increment();
+  registry.GetCounter("phase_total", "phase=\"b\"").Increment(2);
+  const std::string text = registry.RenderPrometheus();
+  std::size_t type_lines = 0;
+  for (std::size_t pos = text.find("# TYPE phase_total");
+       pos != std::string::npos;
+       pos = text.find("# TYPE phase_total", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("phase_total{phase=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("phase_total{phase=\"b\"} 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotConsistentUnderConcurrentWrites) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, t] {
+      // Half the threads hammer one shared series, half register fresh
+      // series concurrently with the scrapes below.
+      Counter& counter = registry.GetCounter("shared_total");
+      LatencyHistogram& histogram = registry.GetHistogram(
+          "lat_seconds", "thread=\"" + std::to_string(t) + "\"");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Record(1e-4);
+      }
+    });
+  }
+  std::thread scraper([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto samples = registry.TakeSnapshot();
+      std::uint64_t shared = 0;
+      for (const auto& sample : samples) {
+        if (sample.name == "shared_total") {
+          shared = static_cast<std::uint64_t>(sample.value);
+        }
+      }
+      EXPECT_LE(shared, kThreads * kPerThread);
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  const auto samples = registry.TakeSnapshot();
+  std::uint64_t shared = 0;
+  std::uint64_t recorded = 0;
+  for (const auto& sample : samples) {
+    if (sample.name == "shared_total") {
+      shared = static_cast<std::uint64_t>(sample.value);
+    }
+    if (sample.name == "lat_seconds") recorded += sample.histogram.count;
+  }
+  EXPECT_EQ(shared, kThreads * kPerThread);
+  EXPECT_EQ(recorded, kThreads * kPerThread);
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Trace::Disable();
+  { RESACC_SPAN("ignored"); }
+  EXPECT_TRUE(Trace::DrainThreadEvents().empty());
+}
+
+TEST(TraceTest, RecordsNestedSpansWithParents) {
+  Trace::Enable();
+  {
+    RESACC_SPAN("outer");
+    {
+      RESACC_SPAN("inner");
+    }
+    { RESACC_SPAN("sibling"); }
+  }
+  Trace::Disable();
+  const std::vector<TraceEvent> events = Trace::DrainThreadEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].parent, -1);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].parent, 0);
+  EXPECT_STREQ(events[2].name, "sibling");
+  EXPECT_EQ(events[2].parent, 0);
+  EXPECT_GE(events[0].duration_seconds, events[1].duration_seconds);
+  EXPECT_GE(events[1].start_seconds, events[0].start_seconds);
+}
+
+TEST(TraceTest, DrainResetsBuffer) {
+  Trace::Enable();
+  { RESACC_SPAN("once"); }
+  Trace::Disable();
+  EXPECT_EQ(Trace::DrainThreadEvents().size(), 1u);
+  EXPECT_TRUE(Trace::DrainThreadEvents().empty());
+}
+
+TEST(TraceTest, OverflowDropsAndCounts) {
+  Trace::Enable();
+  for (std::size_t i = 0; i < Trace::kMaxThreadEvents + 10; ++i) {
+    RESACC_SPAN("tick");
+  }
+  Trace::Disable();
+  EXPECT_EQ(Trace::DroppedThreadEvents(), 10u);
+  EXPECT_EQ(Trace::DrainThreadEvents().size(), Trace::kMaxThreadEvents);
+  EXPECT_EQ(Trace::DroppedThreadEvents(), 0u);  // drain resets the count
+}
+
+TEST(TraceTest, SpanOpenAcrossDrainIsAbandonedSafely) {
+  Trace::Enable();
+  {
+    RESACC_SPAN("open");
+    const auto events = Trace::DrainThreadEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].duration_seconds, 0.0);  // still open when drained
+  }  // close after drain must not touch the reset buffer
+  Trace::Disable();
+  EXPECT_TRUE(Trace::DrainThreadEvents().empty());
+}
+
+TEST(TraceTest, ToJsonBuildsForest) {
+  std::vector<TraceEvent> events;
+  events.push_back({"root", -1, 0.0, 2.0});
+  events.push_back({"child", 0, 0.5, 1.0});
+  const std::string json = Trace::ToJson(events);
+  EXPECT_NE(json.find("\"name\": \"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"child\""), std::string::npos);
+  EXPECT_EQ(Trace::ToJson({}), "[]");
+}
+
+TEST(TraceTest, PerThreadBuffersAreIndependent) {
+  Trace::Enable();
+  { RESACC_SPAN("main_thread"); }
+  std::thread other([] {
+    { RESACC_SPAN("other_thread"); }
+    const auto events = Trace::DrainThreadEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "other_thread");
+  });
+  other.join();
+  Trace::Disable();
+  const auto events = Trace::DrainThreadEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "main_thread");
+}
+
+TEST(StatsReporterTest, WritesLinesPeriodically) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  std::atomic<int> calls{0};
+  {
+    StatsReporter reporter(
+        0.005, [&calls] { return "line " + std::to_string(++calls); }, sink);
+    while (reporter.lines_written() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    reporter.Stop();
+    reporter.Stop();  // idempotent
+    const std::uint64_t written = reporter.lines_written();
+    EXPECT_GE(written, 3u);
+    EXPECT_EQ(reporter.lines_written(), written);  // no lines after Stop
+  }
+  std::fclose(sink);
+}
+
+TEST(StatsReporterTest, EmptyProducerOutputSuppressesLine) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  std::atomic<int> calls{0};
+  {
+    StatsReporter reporter(
+        0.002,
+        [&calls] {
+          ++calls;
+          return std::string();
+        },
+        sink);
+    while (calls.load() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(reporter.lines_written(), 0u);
+  }
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace resacc

@@ -453,5 +453,100 @@ TEST(QueryServiceTest, StopDrainsQueuedWorkAndRejectsNewSubmits) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(QueryServiceTest, SnapshotIsViewOfMetricsRegistry) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  ServeOptions options;
+  options.num_workers = 2;
+  QueryService service(graph, TestConfig(graph), options);
+
+  service.Query(QueryRequest{3, 0, 0.0});
+  service.Query(QueryRequest{3, 0, 0.0});  // cache hit
+  service.Query(QueryRequest{4, 0, 0.0});
+
+  // Snapshot numbers and the registered series are the same objects.
+  const ServerStats stats = service.Snapshot();
+  std::uint64_t submitted = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t cache_hits = 0;
+  double latency_count = 0.0;
+  double workers = 0.0;
+  for (const auto& sample : service.metrics().TakeSnapshot()) {
+    if (sample.name == "resacc_serve_submitted_total") {
+      submitted = static_cast<std::uint64_t>(sample.value);
+    } else if (sample.name == "resacc_serve_computed_total") {
+      computed = static_cast<std::uint64_t>(sample.value);
+    } else if (sample.name == "resacc_serve_cache_hits_total") {
+      cache_hits = static_cast<std::uint64_t>(sample.value);
+    } else if (sample.name == "resacc_serve_latency_seconds") {
+      latency_count = static_cast<double>(sample.histogram.count);
+    } else if (sample.name == "resacc_serve_workers") {
+      workers = sample.value;
+    }
+  }
+  EXPECT_EQ(submitted, stats.submitted);
+  EXPECT_EQ(submitted, 3u);
+  EXPECT_EQ(computed, stats.computed);
+  EXPECT_EQ(computed, 2u);
+  EXPECT_EQ(cache_hits, stats.cache_hits);
+  EXPECT_EQ(cache_hits, 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(latency_count), stats.latency.count);
+  EXPECT_DOUBLE_EQ(workers, 2.0);
+
+  const std::string text = service.metrics().RenderPrometheus();
+  EXPECT_NE(text.find("resacc_serve_submitted_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE resacc_serve_latency_seconds summary\n"),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, PrivateRegistriesIsolateServices) {
+  const Graph graph = ChungLuPowerLaw(300, 1500, 2.2, 12);
+  ServeOptions options;
+  options.num_workers = 1;
+  QueryService a(graph, TestConfig(graph), options);
+  QueryService b(graph, TestConfig(graph), options);
+  EXPECT_NE(&a.metrics(), &b.metrics());
+
+  a.Query(QueryRequest{1, 0, 0.0});
+  EXPECT_EQ(a.Snapshot().submitted, 1u);
+  EXPECT_EQ(b.Snapshot().submitted, 0u);
+}
+
+TEST(QueryServiceTest, SharedRegistryWithDistinctPrefixes) {
+  const Graph graph = ChungLuPowerLaw(300, 1500, 2.2, 12);
+  MetricsRegistry registry;
+  ServeOptions options;
+  options.num_workers = 1;
+  options.metrics_registry = &registry;
+  options.metrics_prefix = "svc_a";
+  {
+    QueryService a(graph, TestConfig(graph), options);
+    options.metrics_prefix = "svc_b";
+    QueryService b(graph, TestConfig(graph), options);
+
+    a.Query(QueryRequest{1, 0, 0.0});
+    a.Query(QueryRequest{2, 0, 0.0});
+    b.Query(QueryRequest{1, 0, 0.0});
+
+    std::uint64_t a_submitted = 0;
+    std::uint64_t b_submitted = 0;
+    for (const auto& sample : registry.TakeSnapshot()) {
+      if (sample.name == "svc_a_submitted_total") {
+        a_submitted = static_cast<std::uint64_t>(sample.value);
+      } else if (sample.name == "svc_b_submitted_total") {
+        b_submitted = static_cast<std::uint64_t>(sample.value);
+      }
+    }
+    EXPECT_EQ(a_submitted, 2u);
+    EXPECT_EQ(b_submitted, 1u);
+  }
+  // Destruction detaches callback series (cache/queue/uptime gauges); the
+  // plain counters persist, and scraping must not touch freed state.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("svc_a_submitted_total 2\n"), std::string::npos);
+  EXPECT_EQ(text.find("svc_a_queue_depth"), std::string::npos);
+  EXPECT_EQ(text.find("svc_b_uptime_seconds"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace resacc

@@ -1,13 +1,16 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "resacc/util/alias_table.h"
 #include "resacc/util/env.h"
+#include "resacc/util/histogram.h"
 #include "resacc/util/rng.h"
 #include "resacc/util/stats.h"
 #include "resacc/util/status.h"
@@ -187,6 +190,91 @@ TEST(TableTest, FormattersProduceReadableUnits) {
   EXPECT_EQ(FmtBytes(1536.0), "1.54 KB");
   EXPECT_EQ(FmtBytes(2.5e9), "2.50 GB");
   EXPECT_EQ(Fmt(1.5e-9), "1.500e-09");
+}
+
+TEST(LatencyHistogramTest, QuantileEdgesAndEmpty) {
+  LatencyHistogram histogram;
+  // Empty: every quantile is zero, as is the snapshot.
+  EXPECT_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_EQ(histogram.Quantile(1.0), 0.0);
+  EXPECT_EQ(histogram.TakeSnapshot().count, 0u);
+
+  histogram.Record(0.001);
+  histogram.Record(0.100);
+  // q outside [0,1] clamps rather than reading out of range.
+  EXPECT_EQ(histogram.Quantile(-1.0), histogram.Quantile(0.0));
+  EXPECT_EQ(histogram.Quantile(2.0), histogram.Quantile(1.0));
+  // q=0 resolves to the first occupied bucket, q=1 to the last; bucket
+  // bounds overestimate by at most the ~8.5% bucket growth factor.
+  EXPECT_GE(histogram.Quantile(0.0), 0.001);
+  EXPECT_LE(histogram.Quantile(0.0), 0.001 * 1.1);
+  EXPECT_GE(histogram.Quantile(1.0), 0.100);
+  EXPECT_LE(histogram.Quantile(1.0), 0.100 * 1.1);
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);     // <= 0 lands in the underflow bucket
+  histogram.Record(-5.0);    // negative too, and must not poison the sum
+  histogram.Record(1e-9);    // below the 1us floor
+  histogram.Record(5e3);     // above the 1000s ceiling
+  const LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  // Underflow reads back as the floor, overflow as the ceiling.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1e3);
+  EXPECT_DOUBLE_EQ(snapshot.max, 5e3);
+  EXPECT_NEAR(snapshot.mean, (1e-9 + 5e3) / 4.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, ResetForgetsEverything) {
+  LatencyHistogram histogram;
+  histogram.Record(0.5);
+  histogram.Record(2.0);
+  ASSERT_EQ(histogram.count(), 2u);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  const LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.mean, 0.0);
+  EXPECT_EQ(snapshot.max, 0.0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  // Usable after Reset.
+  histogram.Record(0.25);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordVsSnapshot) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&histogram, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+      // A mid-update snapshot may be short but never corrupt: count within
+      // range, quantiles within the recorded value span.
+      EXPECT_LE(snapshot.count, kThreads * kPerThread);
+      if (snapshot.count > 0) {
+        EXPECT_GE(snapshot.p50, 1e-4);
+        EXPECT_LE(snapshot.p99, 1e-2 * 1.1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(i % 2 == 0 ? 1e-4 : 1e-2);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  EXPECT_NEAR(histogram.TakeSnapshot().mean, (1e-4 + 1e-2) / 2.0, 1e-5);
 }
 
 TEST(EnvTest, ParsesAndDefaults) {

@@ -3,6 +3,7 @@
 //   resacc generate --type=chunglu --nodes=100000 --edges=1000000 out.bin
 //   resacc stats graph.txt
 //   resacc query graph.txt --source=42 --topk=10 [--algo=resacc]
+//                [--trace-json=out.json]
 //   resacc msrwr graph.txt --sources=1,2,3 [--threads=4]
 //   resacc communities graph.txt --count=50
 //   resacc convert graph.txt graph.bin
@@ -31,6 +32,7 @@
 #include "resacc/graph/graph_io.h"
 #include "resacc/graph/graph_stats.h"
 #include "resacc/nise/nise.h"
+#include "resacc/obs/trace.h"
 #include "resacc/util/args.h"
 #include "resacc/util/table.h"
 #include "resacc/util/timer.h"
@@ -196,10 +198,38 @@ int CmdQuery(const ArgParser& args, const Graph& graph) {
       MakeSolver(args.GetString("algo", "resacc"), graph, config, walk_threads);
   if (solver == nullptr) return 1;
 
+  // --trace-json=FILE records the query's span tree (phase nesting and
+  // durations) and writes it as JSON; docs/OBSERVABILITY.md documents the
+  // schema. Tracing stays off otherwise.
+  const std::string trace_path = args.GetString("trace-json", "");
+  if (!trace_path.empty()) Trace::Enable();
+
   Timer timer;
   const std::vector<Score> scores = solver->Query(source);
+  const double total_seconds = timer.ElapsedSeconds();
   std::printf("%s query from %u: %s\n", solver->name().c_str(), source,
-              FmtSeconds(timer.ElapsedSeconds()).c_str());
+              FmtSeconds(total_seconds).c_str());
+
+  if (!trace_path.empty()) {
+    Trace::Disable();
+    const std::uint64_t dropped = Trace::DroppedThreadEvents();
+    const std::vector<TraceEvent> events = Trace::DrainThreadEvents();
+    std::FILE* out = std::fopen(trace_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"tool\": \"resacc_cli\",\n  \"algo\": \"%s\",\n"
+                 "  \"source\": %u,\n  \"total_seconds\": %.9f,\n"
+                 "  \"dropped_events\": %llu,\n  \"spans\": %s\n}\n",
+                 solver->name().c_str(), source, total_seconds,
+                 static_cast<unsigned long long>(dropped),
+                 Trace::ToJson(events).c_str());
+    std::fclose(out);
+    std::fprintf(stderr, "[trace] %zu spans -> %s\n", events.size(),
+                 trace_path.c_str());
+  }
 
   const std::size_t k = static_cast<std::size_t>(args.GetInt("topk", 10));
   TextTable table({"rank", "node", "rwr score"});

@@ -4,6 +4,7 @@
 //                [--cache-mb=M] [--no-coalesce] [--deadline-ms=D]
 //                [--window=W] [--alpha=A] [--epsilon=E] [--seed=S]
 //                [--dangling=absorb|source] [--walk-threads=W]
+//                [--stats-interval=SECONDS]
 //
 // Protocol (one request per line on stdin, one response line on stdout,
 // responses in request order):
@@ -11,8 +12,16 @@
 //                                us=<latency> top <node>:<score> ...
 //   info                    ->  info nodes=<n> edges=<m> workers=<w>
 //   stats                   ->  stats <key=value ...>
+//   metrics                 ->  Prometheus text exposition (multi-line),
+//                               terminated by a line reading `# EOF`
 //   quit                    ->  bye (and exit 0)
 //   anything else           ->  err <message>
+//
+// The service registers its metrics in MetricsRegistry::Global(), so a
+// `metrics` scrape carries the serve series next to the solver phase
+// histograms and walk-engine counters (docs/OBSERVABILITY.md catalogs
+// them). --stats-interval=S additionally prints the `stats` key=value
+// line to stderr every S seconds.
 //
 // The reader thread submits queries asynchronously (up to --window in
 // flight) while a writer thread streams responses back in order, so a
@@ -22,11 +31,14 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "resacc/graph/graph_io.h"
+#include "resacc/obs/metrics_registry.h"
+#include "resacc/obs/stats_reporter.h"
 #include "resacc/serve/query_service.h"
 #include "resacc/util/args.h"
 #include "resacc/util/bounded_queue.h"
@@ -41,7 +53,7 @@ using namespace resacc;
 // lets clients correlate responses by position — and what makes a `stats`
 // line reflect every query answered before it.
 struct OutputItem {
-  enum class Kind { kResponse, kLiteral, kStats };
+  enum class Kind { kResponse, kLiteral, kStats, kMetrics };
   Kind kind = Kind::kLiteral;
   NodeId source = 0;
   std::future<QueryResponse> future;
@@ -70,7 +82,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: resacc_serve <graph> [--workers=N] [--queue=N] "
                  "[--cache-mb=M] [--no-coalesce] [--deadline-ms=D] "
-                 "[--window=W] [--walk-threads=W]\n");
+                 "[--window=W] [--walk-threads=W] "
+                 "[--stats-interval=SECONDS]\n");
     return 2;
   }
 
@@ -109,6 +122,9 @@ int main(int argc, char** argv) {
   // single-query latency — useful with --workers=1 on a big machine.
   options.solver.walk_threads =
       static_cast<std::size_t>(args.GetInt("walk-threads", 1));
+  // One process, one service: share the process-wide registry so the
+  // `metrics` verb sees serve, solver, and walk-engine series together.
+  options.metrics_registry = &MetricsRegistry::Global();
 
   QueryService service(graph.value(), config, options);
   const std::size_t window = static_cast<std::size_t>(args.GetInt(
@@ -118,6 +134,16 @@ int main(int argc, char** argv) {
                graph.value().num_nodes(),
                static_cast<unsigned long long>(graph.value().num_edges()),
                service.num_workers());
+
+  // Periodic one-line stats on stderr (stdout carries the protocol).
+  std::unique_ptr<StatsReporter> reporter;
+  const double stats_interval = args.GetDouble("stats-interval", 0.0);
+  if (stats_interval > 0.0) {
+    reporter = std::make_unique<StatsReporter>(
+        stats_interval,
+        [&service] { return "[serve] stats " + service.Snapshot().ToLine(); },
+        stderr);
+  }
 
   BoundedQueue<OutputItem> output(window > 0 ? window : 1);
   std::thread writer([&output, &service] {
@@ -132,6 +158,11 @@ int main(int argc, char** argv) {
           break;
         case OutputItem::Kind::kStats:
           std::printf("stats %s\n", service.Snapshot().ToLine().c_str());
+          break;
+        case OutputItem::Kind::kMetrics:
+          // Multi-line frame; `# EOF` tells the client the scrape is done.
+          std::fputs(service.metrics().RenderPrometheus().c_str(), stdout);
+          std::printf("# EOF\n");
           break;
       }
       std::fflush(stdout);
@@ -177,6 +208,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(command, "stats") == 0) {
       OutputItem item;
       item.kind = OutputItem::Kind::kStats;
+      output.Push(std::move(item));
+    } else if (std::strcmp(command, "metrics") == 0) {
+      OutputItem item;
+      item.kind = OutputItem::Kind::kMetrics;
       output.Push(std::move(item));
     } else if (std::strcmp(command, "quit") == 0) {
       emit_literal("bye");
