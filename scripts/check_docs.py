@@ -9,7 +9,12 @@ Two passes, both hermetic (no network):
    document, using GitHub's slug rules. External http(s)/mailto links are
    format-checked only.
 
-2. Snippet compile check over fenced ```cpp blocks in docs/API.md: each
+2. Required-section check: headings listed in REQUIRED_SECTIONS must
+   exist (as GitHub anchor slugs) in their documents — e.g. the serving
+   cancellation/degraded-result contract in docs/API.md and the
+   degradation-alerting guidance in docs/OBSERVABILITY.md.
+
+3. Snippet compile check over fenced ```cpp blocks in docs/API.md: each
    block is hoisted into a translation unit (includes first, body wrapped
    in a Status-returning function over a small extern-variable preamble)
    and run through `g++ -fsyntax-only -std=c++20`. This keeps the examples
@@ -31,6 +36,15 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 LINKED_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
 SNIPPET_DOC = "docs/API.md"
+
+# Sections whose presence is contractual: the serving robustness
+# semantics (cancellation/degraded results) and the operator guidance
+# for them live nowhere else, so a doc refactor that drops either
+# heading must fail CI. Checked as GitHub anchor slugs.
+REQUIRED_SECTIONS = {
+    "docs/API.md": ["cancellation-deadlines--degraded-results"],
+    "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
+}
 
 # Declarations the API.md snippets may reference without declaring; the
 # snippets stay focused on the call being documented. Local declarations
@@ -132,6 +146,20 @@ def check_links(doc_paths):
     return errors
 
 
+def check_required_sections():
+    errors = []
+    for relpath, anchors in REQUIRED_SECTIONS.items():
+        path = REPO / relpath
+        if not path.exists():
+            continue  # reported as a missing file by main()
+        slugs = heading_slugs(path)
+        for anchor in anchors:
+            if anchor not in slugs:
+                errors.append(
+                    f"{path}: required section '#{anchor}' is missing")
+    return errors
+
+
 def extract_cpp_snippets(path: pathlib.Path):
     snippets, current, start = [], None, 0
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
@@ -196,6 +224,7 @@ def main() -> int:
     errors = [f"{d}: file missing" for d in missing]
     docs = [d for d in docs if d.exists()]
     errors += check_links(docs)
+    errors += check_required_sections()
     errors += check_snippets(REPO / SNIPPET_DOC)
     for error in errors:
         print(error, file=sys.stderr)

@@ -26,9 +26,29 @@ Fora::Fora(const Graph& graph, const RwrConfig& config,
 }
 
 std::vector<Score> Fora::Query(NodeId source) {
+  // Same code path as the controlled variant with no token (identical RNG
+  // draws, bit-identical scores).
+  return QueryControlled(source, QueryControl{}).scores;
+}
+
+ControlledQueryResult Fora::QueryControlled(NodeId source,
+                                            const QueryControl& control) {
   RESACC_CHECK(source < graph_.num_nodes());
   last_stats_ = ForaQueryStats();
   Timer total;
+  const CancellationToken* cancel = control.cancel;
+
+  ControlledQueryResult result;
+  result.achieved_epsilon = config_.epsilon;
+
+  auto tag_degraded = [&](Score uncorrected_mass) {
+    result.uncorrected_mass = uncorrected_mass;
+    if (uncorrected_mass > 0.0) {
+      result.degraded = true;
+      result.achieved_epsilon =
+          config_.epsilon + uncorrected_mass / config_.delta;
+    }
+  };
 
   // Phase 1: forward push with early termination (large r_max).
   Timer phase;
@@ -37,8 +57,17 @@ std::vector<Score> Fora::Query(NodeId source) {
   const NodeId seeds[] = {source};
   last_stats_.push =
       RunForwardSearch(graph_, config_, source, r_max_, seeds,
-                       /*push_seeds_unconditionally=*/false, state_);
+                       /*push_seeds_unconditionally=*/false, state_,
+                       PushOrder::kFifo, cancel);
   last_stats_.push_seconds = phase.ElapsedSeconds();
+  if (ShouldStop(cancel)) {
+    result.status = cancel->StopStatus();
+    result.scores.assign(graph_.num_nodes(), 0.0);
+    for (NodeId v : state_.touched()) result.scores[v] = state_.reserve(v);
+    tag_degraded(state_.ResidueSum());
+    last_stats_.total_seconds = total.ElapsedSeconds();
+    return result;
+  }
 
   // Phase 2: random walks from every node with non-zero residue.
   phase.Restart();
@@ -54,11 +83,15 @@ std::vector<Score> Fora::Query(NodeId source) {
   Rng query_rng = rng_.Fork(source);
   last_stats_.remedy =
       RunRemedy(graph_, config_, source, state_, query_rng, scores,
-                options_.walk_scale, remaining_budget, &walk_engine_);
+                options_.walk_scale, remaining_budget, &walk_engine_, cancel);
   last_stats_.budget_exhausted = last_stats_.remedy.budget_exhausted;
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
   last_stats_.total_seconds = total.ElapsedSeconds();
-  return scores;
+
+  if (last_stats_.remedy.cancelled) result.status = cancel->StopStatus();
+  tag_degraded(last_stats_.remedy.uncorrected_mass);
+  result.scores = std::move(scores);
+  return result;
 }
 
 }  // namespace resacc

@@ -55,6 +55,13 @@ class Fora : public SsrwrAlgorithm {
 
   std::vector<Score> Query(NodeId source) override;
 
+  // Cancellable variant: polls the token during the push phase (every few
+  // hundred dequeues) and at every walk block. A stop — or the solver's
+  // own time budget truncating the walk phase — reports the uncorrected
+  // residue mass and achieved_epsilon = epsilon + uncorrected / delta.
+  ControlledQueryResult QueryControlled(NodeId source,
+                                        const QueryControl& control) override;
+
   const ForaQueryStats& last_stats() const { return last_stats_; }
   Score effective_r_max() const { return r_max_; }
 

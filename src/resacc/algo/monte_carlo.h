@@ -31,6 +31,14 @@ class MonteCarlo : public SsrwrAlgorithm {
 
   std::vector<Score> Query(NodeId source) override;
 
+  // Cancellable variant: the token is polled at every walk block. A
+  // stopped run keeps the walks already merged and scales nothing — each
+  // completed walk still deposits 1/num_walks, so the estimate undershoots
+  // by exactly the skipped walk mass, which is reported as
+  // uncorrected_mass (r_sum = 1 for MC).
+  ControlledQueryResult QueryControlled(NodeId source,
+                                        const QueryControl& control) override;
+
   const WalkStats& last_walk_stats() const { return last_walk_stats_; }
 
  private:

@@ -40,12 +40,19 @@ void ForwardPushAt(const Graph& graph, const RwrConfig& config, NodeId source,
 
 namespace {
 
+// How many work-list dequeues happen between cancellation-token polls.
+// A poll is one relaxed load (plus a clock read when a deadline is
+// armed); 512 pops of push work dwarf that, so the overhead is noise
+// while the stop latency stays far under a millisecond.
+constexpr std::uint64_t kCancelPollInterval = 512;
+
 // FIFO work list.
 PushStats ForwardSearchFifo(const Graph& graph, const RwrConfig& config,
                             NodeId source, Score r_max,
                             std::span<const NodeId> seeds,
                             bool push_seeds_unconditionally,
-                            PushState& state) {
+                            PushState& state,
+                            const CancellationToken* cancel) {
   PushStats stats;
   std::deque<NodeId> queue;
   std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
@@ -64,7 +71,12 @@ PushStats ForwardSearchFifo(const Graph& graph, const RwrConfig& config,
   bool processing_seeds = push_seeds_unconditionally;
   std::size_t seeds_remaining = seeds_enqueued;
 
+  std::uint64_t pops = 0;
   while (!queue.empty()) {
+    if (cancel != nullptr && (++pops % kCancelPollInterval) == 0 &&
+        cancel->ShouldStop()) {
+      break;
+    }
     const NodeId node = queue.front();
     queue.pop_front();
     in_queue[node] = 0;
@@ -103,7 +115,8 @@ PushStats ForwardSearchMaxFirst(const Graph& graph, const RwrConfig& config,
                                 NodeId source, Score r_max,
                                 std::span<const NodeId> seeds,
                                 bool push_seeds_unconditionally,
-                                PushState& state) {
+                                PushState& state,
+                                const CancellationToken* cancel) {
   PushStats stats;
   std::priority_queue<std::pair<Score, NodeId>> heap;
   std::vector<std::uint8_t> in_heap(graph.num_nodes(), 0);
@@ -124,7 +137,12 @@ PushStats ForwardSearchMaxFirst(const Graph& graph, const RwrConfig& config,
     }
   };
 
+  std::uint64_t pops = 0;
   while (!heap.empty()) {
+    if (cancel != nullptr && (++pops % kCancelPollInterval) == 0 &&
+        cancel->ShouldStop()) {
+      break;
+    }
     const NodeId node = heap.top().second;
     heap.pop();
     in_heap[node] = 0;
@@ -150,13 +168,13 @@ PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
                            NodeId source, Score r_max,
                            std::span<const NodeId> seeds,
                            bool push_seeds_unconditionally, PushState& state,
-                           PushOrder order) {
+                           PushOrder order, const CancellationToken* cancel) {
   if (order == PushOrder::kMaxResidueFirst) {
     return ForwardSearchMaxFirst(graph, config, source, r_max, seeds,
-                                 push_seeds_unconditionally, state);
+                                 push_seeds_unconditionally, state, cancel);
   }
   return ForwardSearchFifo(graph, config, source, r_max, seeds,
-                           push_seeds_unconditionally, state);
+                           push_seeds_unconditionally, state, cancel);
 }
 
 }  // namespace resacc

@@ -7,6 +7,7 @@
 #include "resacc/core/push_state.h"
 #include "resacc/core/rwr_config.h"
 #include "resacc/graph/graph.h"
+#include "resacc/util/cancellation.h"
 
 namespace resacc {
 
@@ -61,11 +62,17 @@ enum class PushOrder {
 //  * afterwards, any node whose residue meets the push condition with
 //    `r_max` is pushed until none remains.
 // The state must already hold the initial residues (e.g. r(s) = 1).
+// A non-null `cancel` token is polled every few hundred dequeues; when it
+// fires the search stops early. The state stays a valid intermediate (the
+// invariant pi(v) = reserve(v) + sum_u r(u) pi_u(v) holds after every
+// individual push), so the caller can still read partial reserves and the
+// remaining residue mass — the token's status says *why* it stopped.
 PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
                            NodeId source, Score r_max,
                            std::span<const NodeId> seeds,
                            bool push_seeds_unconditionally, PushState& state,
-                           PushOrder order = PushOrder::kFifo);
+                           PushOrder order = PushOrder::kFifo,
+                           const CancellationToken* cancel = nullptr);
 
 }  // namespace resacc
 

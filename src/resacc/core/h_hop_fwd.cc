@@ -82,7 +82,14 @@ HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
   for (NodeId v : graph.OutNeighbors(source)) try_enqueue(v);
   if (!options.use_loop_accumulation) try_enqueue(source);
 
+  std::uint64_t pops = 0;
+  bool stopped = false;
   while (!queue.empty()) {
+    if (options.cancel != nullptr && (++pops % 512) == 0 &&
+        options.cancel->ShouldStop()) {
+      stopped = true;
+      break;
+    }
     const NodeId node = queue.front();
     queue.pop_front();
     in_queue[node] = 0;
@@ -94,7 +101,10 @@ HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
     if (config.dangling == DanglingPolicy::kBackToSource) try_enqueue(source);
   }
 
-  if (!options.use_loop_accumulation) return stats;
+  // Cancelled mid-phase: the updating phase extrapolates T completed
+  // accumulating phases, which a truncated phase is not — skip it and
+  // leave the mass-conserving partial state for the caller to report.
+  if (stopped || !options.use_loop_accumulation) return stats;
 
   // Updating phase (Algorithm 3 lines 8-18): extrapolate the remaining
   // accumulating phases in O(touched).

@@ -32,6 +32,12 @@ struct HHopFwdOptions {
   // can span a fifth of the graph, making the 1e-14-threshold
   // accumulating phase the bottleneck.
   double max_hop_set_fraction = 0.0;
+  // Optional cooperative stop: polled every few hundred pushes. When the
+  // token fires, the accumulating phase stops where it is and the
+  // loop-extrapolation (updating phase) is skipped — extrapolating from a
+  // half-finished phase would fabricate reserves, whereas the raw partial
+  // state is a valid (mass-conserving) intermediate.
+  const CancellationToken* cancel = nullptr;
 };
 
 // Diagnostics of one h-HopFWD run; Table VII and the ablation benches

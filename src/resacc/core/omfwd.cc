@@ -6,7 +6,7 @@ namespace resacc {
 
 PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
                    Score r_max_f, std::vector<NodeId> frontier,
-                   PushState& state) {
+                   PushState& state, const CancellationToken* cancel) {
   // Algorithm 4 line 1: decreasing order of (accumulated) residue, so the
   // largest masses flow first and downstream nodes aggregate them into
   // fewer pushes. The kMaxResidueFirst work list keeps that discipline for
@@ -23,7 +23,7 @@ PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
   // PushOrder).
   return RunForwardSearch(graph, config, source, r_max_f, frontier,
                           /*push_seeds_unconditionally=*/true, state,
-                          PushOrder::kFifo);
+                          PushOrder::kFifo, cancel);
 }
 
 }  // namespace resacc

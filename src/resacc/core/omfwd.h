@@ -16,10 +16,12 @@ namespace resacc {
 // node that satisfies the push condition with r_max_f until quiescent.
 //
 // `frontier` is typically layers.back() from RunHHopFwd; it is copied and
-// sorted internally.
+// sorted internally. A non-null `cancel` token stops the search early (see
+// RunForwardSearch for the partial-state contract).
 PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
                    Score r_max_f, std::vector<NodeId> frontier,
-                   PushState& state);
+                   PushState& state,
+                   const CancellationToken* cancel = nullptr);
 
 }  // namespace resacc
 

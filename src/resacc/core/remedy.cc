@@ -9,7 +9,8 @@ namespace resacc {
 RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
                       NodeId source, const PushState& state, Rng& rng,
                       std::vector<Score>& scores, double walk_scale,
-                      double time_budget_seconds, WalkEngine* engine) {
+                      double time_budget_seconds, WalkEngine* engine,
+                      const CancellationToken* cancel) {
   RESACC_CHECK(scores.size() == graph.num_nodes());
   RemedyStats stats;
 
@@ -47,10 +48,14 @@ RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
   WalkEngine& walk_engine = engine != nullptr ? *engine : sequential;
   const WalkEngineStats engine_stats =
       walk_engine.Run(graph, config, source, walk_root, slices, scores,
-                      time_budget_seconds);
+                      time_budget_seconds, cancel);
   stats.walks = engine_stats.walks;
   stats.steps = engine_stats.steps;
   stats.budget_exhausted = engine_stats.budget_exhausted;
+  stats.cancelled = engine_stats.cancelled;
+  // skipped_mass counts walks x weight = the residue share of each skipped
+  // block, so it is exactly the residue mass left uncorrected.
+  stats.uncorrected_mass = engine_stats.skipped_mass;
   return stats;
 }
 

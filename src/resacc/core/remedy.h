@@ -20,6 +20,13 @@ struct RemedyStats {
   std::uint64_t steps = 0;      // total walk steps
   double target_walks = 0.0;    // n_r from Theorem 3 (before ceil per node)
   bool budget_exhausted = false;  // stopped early by the time budget
+  bool cancelled = false;         // stopped early by the cancellation token
+  // Residue mass whose correction walks were skipped (budget or
+  // cancellation). Each skipped unit adds at most one unit of absolute
+  // error to any single score, so a truncated run still satisfies
+  // |pi_hat - pi| <= eps*pi + uncorrected_mass for pi > delta — the basis
+  // of the serving layer's achieved-epsilon tag.
+  Score uncorrected_mass = 0.0;
 };
 
 // The remedy phase shared by ResAcc (Algorithm 2 lines 5-17) and FORA:
@@ -46,11 +53,15 @@ struct RemedyStats {
 // (which advances, so repeated calls with the same Rng object stay
 // independent), and the engine merges per-block partial sums in a fixed
 // order. See walk_engine.h for the full determinism contract.
+// A non-null `cancel` token stops the walk loop at the next block boundary
+// (same granularity as the budget); the skipped residue mass is reported
+// as `uncorrected_mass` either way.
 RemedyStats RunRemedy(const Graph& graph, const RwrConfig& config,
                       NodeId source, const PushState& state, Rng& rng,
                       std::vector<Score>& scores, double walk_scale = 1.0,
                       double time_budget_seconds = 0.0,
-                      WalkEngine* engine = nullptr);
+                      WalkEngine* engine = nullptr,
+                      const CancellationToken* cancel = nullptr);
 
 }  // namespace resacc
 

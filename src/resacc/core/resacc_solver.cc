@@ -16,6 +16,8 @@ namespace {
 // atomics — safe to leave on for every query.
 struct SolverMetrics {
   Counter& queries;
+  Counter& degraded;
+  Counter& cancelled;
   LatencyHistogram& hhop;
   LatencyHistogram& omfwd;
   LatencyHistogram& remedy;
@@ -26,6 +28,14 @@ struct SolverMetrics {
     static SolverMetrics metrics{
         registry.GetCounter("resacc_solver_queries_total", "",
                             "Single-source RWR queries answered."),
+        registry.GetCounter(
+            "resacc_solver_queries_degraded_total", "",
+            "Queries that returned with uncorrected residual mass "
+            "(achieved epsilon above the configured bound)."),
+        registry.GetCounter(
+            "resacc_solver_queries_cancelled_total", "",
+            "Queries stopped early by a cancellation token "
+            "(deadline or explicit cancel)."),
         registry.GetHistogram("resacc_solver_phase_seconds",
                               "phase=\"hhop\"",
                               "Per-query phase latency (Table VII split)."),
@@ -62,17 +72,59 @@ ResAccSolver::ResAccSolver(const Graph& graph, const RwrConfig& config,
 }
 
 std::vector<Score> ResAccSolver::Query(NodeId source) {
+  // Same code path as the controlled variant with no token: identical RNG
+  // draws, identical phase structure, bit-identical scores.
+  return QueryControlled(source, QueryControl{}).scores;
+}
+
+ControlledQueryResult ResAccSolver::QueryControlled(
+    NodeId source, const QueryControl& control) {
   RESACC_CHECK(source < graph_.num_nodes());
   RESACC_SPAN("query");
   last_stats_ = ResAccQueryStats();
   Timer total;
+  const CancellationToken* cancel = control.cancel;
+
+  ControlledQueryResult result;
+  result.achieved_epsilon = config_.epsilon;
+
+  SolverMetrics& metrics = SolverMetrics::Get();
+  // Every return path — complete, degraded or cancelled — goes through
+  // here, so queries_total and the query histogram stay consistent with
+  // the per-phase histograms after an abort (each phase records iff it
+  // started).
+  auto finish = [&](Score uncorrected_mass) {
+    result.uncorrected_mass = uncorrected_mass;
+    if (uncorrected_mass > 0.0) {
+      result.degraded = true;
+      // Each unit of unconverted mass adds <= that much absolute error to
+      // any score; nodes above delta turn it into relative error at worst
+      // uncorrected/delta (Theorem 3's residual term).
+      result.achieved_epsilon =
+          config_.epsilon + uncorrected_mass / config_.delta;
+      metrics.degraded.Increment();
+    }
+    if (!result.status.ok()) metrics.cancelled.Increment();
+    last_stats_.total_seconds = total.ElapsedSeconds();
+    metrics.queries.Increment();
+    metrics.total.Record(last_stats_.total_seconds);
+  };
 
   state_.Reset();
+  if (ShouldStop(cancel)) {
+    // Dead on arrival (deadline already passed): nothing computed, the
+    // whole unit of probability mass is unconverted.
+    result.status = cancel->StopStatus();
+    result.scores.assign(graph_.num_nodes(), 0.0);
+    finish(1.0);
+    return result;
+  }
 
   // Phase 1: h-HopFWD. The No-SG ablation accumulates over the whole graph;
   // there the practical threshold is r_max^f (with r_max^hop the whole-graph
   // search would push for days — the subgraph restriction is exactly what
   // makes the tiny threshold affordable).
+  if (options_.phase_hook) options_.phase_hook("hhop");
   Timer phase;
   HHopFwdOptions hhop_options;
   hhop_options.r_max_hop =
@@ -81,6 +133,16 @@ std::vector<Score> ResAccSolver::Query(NodeId source) {
   hhop_options.use_loop_accumulation = options_.use_loop_accumulation;
   hhop_options.use_hop_subgraph = options_.use_hop_subgraph;
   hhop_options.max_hop_set_fraction = options_.max_hop_set_fraction;
+  hhop_options.cancel = cancel;
+
+  // Partial result on an early stop: the reserves accumulated so far.
+  // pi(v) = reserve(v) + sum_u r(u) pi_u(v) holds after every push, so
+  // the estimate undershoots by at most the remaining residue mass.
+  auto reserves_snapshot = [&] {
+    std::vector<Score> scores(graph_.num_nodes(), 0.0);
+    for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
+    return scores;
+  };
 
   HopLayers layers;
   {
@@ -89,42 +151,53 @@ std::vector<Score> ResAccSolver::Query(NodeId source) {
         RunHHopFwd(graph_, config_, source, hhop_options, state_, &layers);
   }
   last_stats_.hhop_seconds = phase.ElapsedSeconds();
+  metrics.hhop.Record(last_stats_.hhop_seconds);
+  if (ShouldStop(cancel)) {
+    result.status = cancel->StopStatus();
+    result.scores = reserves_snapshot();
+    finish(state_.ResidueSum());
+    return result;
+  }
 
   // Phase 2: OMFWD from the accumulated frontier.
+  if (options_.phase_hook) options_.phase_hook("omfwd");
   phase.Restart();
   {
     RESACC_SPAN("omfwd");
     if (options_.use_omfwd && !layers.layers.empty()) {
       last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
-                                        layers.layers.back(), state_);
+                                        layers.layers.back(), state_, cancel);
     }
   }
   last_stats_.omfwd_seconds = phase.ElapsedSeconds();
   last_stats_.residue_sum_after_omfwd = state_.ResidueSum();
+  metrics.omfwd.Record(last_stats_.omfwd_seconds);
+  if (ShouldStop(cancel)) {
+    result.status = cancel->StopStatus();
+    result.scores = reserves_snapshot();
+    finish(state_.ResidueSum());
+    return result;
+  }
 
   // Phase 3: remedy (Algorithm 2 lines 5-17).
+  if (options_.phase_hook) options_.phase_hook("remedy");
   phase.Restart();
-  std::vector<Score> scores(graph_.num_nodes(), 0.0);
-  for (NodeId v : state_.touched()) scores[v] = state_.reserve(v);
+  std::vector<Score> scores = reserves_snapshot();
   Rng query_rng = rng_.Fork(source);
   {
     RESACC_SPAN("remedy");
     last_stats_.remedy =
         RunRemedy(graph_, config_, source, state_, query_rng, scores,
                   options_.walk_scale, /*time_budget_seconds=*/0.0,
-                  &walk_engine_);
+                  &walk_engine_, cancel);
   }
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
-
-  last_stats_.total_seconds = total.ElapsedSeconds();
-
-  SolverMetrics& metrics = SolverMetrics::Get();
-  metrics.queries.Increment();
-  metrics.hhop.Record(last_stats_.hhop_seconds);
-  metrics.omfwd.Record(last_stats_.omfwd_seconds);
   metrics.remedy.Record(last_stats_.remedy_seconds);
-  metrics.total.Record(last_stats_.total_seconds);
-  return scores;
+
+  if (last_stats_.remedy.cancelled) result.status = cancel->StopStatus();
+  result.scores = std::move(scores);
+  finish(last_stats_.remedy.uncorrected_mass);
+  return result;
 }
 
 }  // namespace resacc

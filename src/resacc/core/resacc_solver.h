@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ struct ResAccOptions {
   bool use_loop_accumulation = true;  // false => "No-Loop-ResAcc"
   bool use_hop_subgraph = true;       // false => "No-SG-ResAcc"
   bool use_omfwd = true;              // false => "No-OFD-ResAcc"
+
+  // Test hook: invoked at the start of each phase with "hhop", "omfwd" or
+  // "remedy" (same precedent as ServeOptions::dequeue_hook). Lets tests
+  // cancel deterministically *inside* a chosen phase instead of racing a
+  // timer. Not hashed by the serve layer's config hash — hooks must not
+  // change results.
+  std::function<void(const char*)> phase_hook;
 };
 
 // Per-query diagnostics: phase timings (Table VII), operation counts, and
@@ -69,6 +77,15 @@ class ResAccSolver : public SsrwrAlgorithm {
   const std::string& name() const override { return name_; }
 
   std::vector<Score> Query(NodeId source) override;
+
+  // Cancellable variant: polls `control.cancel` between the three phases,
+  // every few hundred pushes inside h-HopFWD/OMFWD, and at every remedy
+  // walk block. On an early stop the returned scores are the reserves
+  // accumulated so far (plus any merged walk corrections) and
+  // achieved_epsilon = epsilon + uncorrected_mass / delta. See
+  // ControlledQueryResult for the exact contract.
+  ControlledQueryResult QueryControlled(NodeId source,
+                                        const QueryControl& control) override;
 
   // Diagnostics of the most recent Query call.
   const ResAccQueryStats& last_stats() const { return last_stats_; }

@@ -5,10 +5,43 @@
 #include <string>
 #include <vector>
 
+#include "resacc/util/cancellation.h"
 #include "resacc/util/status.h"
 #include "resacc/util/types.h"
 
 namespace resacc {
+
+// Caller-supplied controls for a cancellable query. Extended by value so
+// new knobs never break solver signatures.
+struct QueryControl {
+  // Polled cooperatively during the query; null = run to completion.
+  const CancellationToken* cancel = nullptr;
+};
+
+// Outcome of QueryControlled. When the query ran to completion, `status`
+// is OK, `degraded` is false and `scores` is exactly what Query() would
+// have returned. When the token stopped it early (kCancelled /
+// kDeadlineExceeded) — or a solver-level time budget truncated the walk
+// phase — `scores` holds the partial estimate that was safe to keep and
+// `achieved_epsilon` the bound it still satisfies.
+struct ControlledQueryResult {
+  Status status;
+  std::vector<Score> scores;
+  // True when `scores` left some probability mass uncorrected; the
+  // configured relative-error bound no longer applies as-is.
+  bool degraded = false;
+  // The unconverted mass: residue not walked by remedy, or walk mass
+  // skipped by MC. Adds at most `uncorrected_mass` absolute error to any
+  // single score.
+  Score uncorrected_mass = 0.0;
+  // Honest accuracy tag: every node with pi > delta satisfies
+  // |pi_hat - pi| <= achieved_epsilon * pi with the configured failure
+  // probability. Complete runs report the configured epsilon; truncated
+  // runs report epsilon + uncorrected_mass / delta (the skipped mass adds
+  // <= uncorrected_mass absolute error, and pi > delta relativizes it).
+  // Solvers without cancellation support leave it 0 ("as configured").
+  double achieved_epsilon = 0.0;
+};
 
 // Common interface of every single-source RWR solver in the library, so the
 // evaluation harness and the benches treat ResAcc and the baselines
@@ -22,6 +55,19 @@ class SsrwrAlgorithm {
 
   // Estimated RWR values of every node w.r.t. `source`.
   virtual std::vector<Score> Query(NodeId source) = 0;
+
+  // Cancellable query. The default implementation ignores the token and
+  // delegates to Query (correct for solvers without an incremental
+  // result); ResAcc, FORA and MC override it to honor `control.cancel`
+  // at phase and walk-block boundaries and to report partial results
+  // with an honest achieved-epsilon tag.
+  virtual ControlledQueryResult QueryControlled(NodeId source,
+                                                const QueryControl& control) {
+    (void)control;
+    ControlledQueryResult result;
+    result.scores = Query(source);
+    return result;
+  }
 
   // MSRWR (Section VI "Extension to MSRWR"): one SSRWR per source, the
   // natural extension the paper evaluates. Overridable if a solver can

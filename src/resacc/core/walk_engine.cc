@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "resacc/core/random_walk.h"
 #include "resacc/obs/metrics_registry.h"
 #include "resacc/obs/trace.h"
 #include "resacc/util/check.h"
+#include "resacc/util/fault_injection.h"
 #include "resacc/util/timer.h"
 
 namespace resacc {
@@ -77,12 +80,20 @@ void FlushGlobalMetrics(const WalkEngineStats& stats) {
   static Counter& exhausted = registry.GetCounter(
       "resacc_walk_engine_budget_exhausted_total", "",
       "Runs truncated by the walk time budget.");
+  static Counter& cancelled = registry.GetCounter(
+      "resacc_walk_engine_cancelled_total", "",
+      "Runs truncated by a cancellation token (deadline or Cancel).");
   runs.Increment();
   blocks.Increment(stats.blocks);
   walks.Increment(stats.walks);
   steps.Increment(stats.steps);
   stalls.Increment(stats.reorder_stalls);
   if (stats.budget_exhausted) exhausted.Increment();
+  if (stats.cancelled) cancelled.Increment();
+}
+
+Score BlockMass(const Block& block, std::span<const WalkSlice> slices) {
+  return static_cast<Score>(block.walks) * slices[block.slice].weight;
 }
 
 }  // namespace
@@ -106,7 +117,8 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
                                 NodeId restart_node, const Rng& root,
                                 std::span<const WalkSlice> slices,
                                 std::vector<Score>& scores,
-                                double time_budget_seconds) {
+                                double time_budget_seconds,
+                                const CancellationToken* cancel) {
   RESACC_CHECK(scores.size() == graph.num_nodes());
   RESACC_SPAN("walk_engine");
   WalkEngineStats stats;
@@ -128,12 +140,20 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
     // bit-identical to walk_threads = N by construction.
     Workspace& workspace = WorkspaceFor(0, graph.num_nodes());
     WalkStats walk_stats;
-    for (const Block& block : blocks) {
-      if (time_budget_seconds > 0.0 &&
-          budget_timer.ElapsedSeconds() >= time_budget_seconds) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (ShouldStop(cancel)) {
+        stats.cancelled = true;
+      } else if (time_budget_seconds > 0.0 &&
+                 budget_timer.ElapsedSeconds() >= time_budget_seconds) {
         stats.budget_exhausted = true;
+      }
+      if (stats.cancelled || stats.budget_exhausted) {
+        for (std::size_t r = b; r < blocks.size(); ++r) {
+          stats.skipped_mass += BlockMass(blocks[r], slices);
+        }
         break;
       }
+      const Block& block = blocks[b];
       WalkBlock(graph, config, restart_node, slices[block.slice],
                 block.walks, inv_log1m_alpha, block_rng(block), workspace,
                 walk_stats);
@@ -155,6 +175,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
   // merge frontier, keeping buffered partials O(workers), not O(blocks).
   struct BlockResult {
     std::vector<std::pair<NodeId, Score>> deposits;
+    Score skipped = 0.0;  // mass this block would have deposited
     bool ready = false;
   };
   std::vector<BlockResult> results(blocks.size());
@@ -168,6 +189,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
   std::uint64_t reorder_stalls = 0;
   const std::size_t window = std::max<std::size_t>(4 * workers, 16);
   std::atomic<bool> exhausted{false};
+  std::atomic<bool> token_fired{false};
 
   for (std::size_t k = 0; k < workers; ++k) {
     Workspace* workspace = &WorkspaceFor(k, graph.num_nodes());
@@ -188,21 +210,37 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
           index = next_block++;
         }
         const Block& block = blocks[index];
-        bool skip = exhausted.load(std::memory_order_relaxed);
+        bool skip = exhausted.load(std::memory_order_relaxed) ||
+                    token_fired.load(std::memory_order_relaxed);
+        if (!skip && ShouldStop(cancel)) {
+          token_fired.store(true, std::memory_order_relaxed);
+          skip = true;
+        }
         if (!skip && time_budget_seconds > 0.0 &&
             budget_timer.ElapsedSeconds() >= time_budget_seconds) {
           exhausted.store(true, std::memory_order_relaxed);
           skip = true;
         }
+        Score skipped = 0.0;
         if (!skip) {
           const WalkSlice& slice = slices[block.slice];
           WalkBlock(graph, config, restart_node, slice, block.walks,
                     inv_log1m_alpha, block_rng(block), *workspace,
                     *local_stats);
+          // Chaos site: delay publishing a finished block so merge-order
+          // robustness (and reorder-window backpressure) gets exercised.
+          // Must not change the deposits — determinism is the invariant
+          // chaos_test asserts survives these stalls.
+          if (RESACC_FAULT("walk_engine.block_stall")) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
           results[index].deposits = workspace->Extract();
+        } else {
+          skipped = BlockMass(block, slices);
         }
         {
           std::lock_guard<std::mutex> lock(mutex);
+          results[index].skipped = skipped;
           results[index].ready = true;
         }
         block_ready.notify_one();
@@ -216,6 +254,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
       std::unique_lock<std::mutex> lock(mutex);
       block_ready.wait(lock, [&] { return results[merged].ready; });
       deposits = std::move(results[merged].deposits);
+      stats.skipped_mass += results[merged].skipped;
       ++merged;
     }
     window_open.notify_all();
@@ -229,6 +268,7 @@ WalkEngineStats WalkEngine::Run(const Graph& graph, const RwrConfig& config,
   }
   stats.reorder_stalls = reorder_stalls;
   stats.budget_exhausted = exhausted.load(std::memory_order_relaxed);
+  stats.cancelled = token_fired.load(std::memory_order_relaxed);
   FlushGlobalMetrics(stats);
   return stats;
 }

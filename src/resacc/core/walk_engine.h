@@ -9,6 +9,7 @@
 
 #include "resacc/core/rwr_config.h"
 #include "resacc/graph/graph.h"
+#include "resacc/util/cancellation.h"
 #include "resacc/util/rng.h"
 #include "resacc/util/thread_pool.h"
 #include "resacc/util/types.h"
@@ -33,6 +34,12 @@ struct WalkEngineStats {
   std::uint64_t blocks = 0;          // scheduling blocks formed
   std::uint64_t reorder_stalls = 0;  // worker waits on a full reorder window
   bool budget_exhausted = false;     // stopped early by the time budget
+  bool cancelled = false;            // stopped early by the cancellation token
+  // Deposit mass of the blocks that were skipped (sum of walks x weight
+  // over unissued blocks). This is exactly the probability mass the caller
+  // asked for but did not get, so remedy/MC can derive an honest achieved
+  // accuracy bound for a truncated run (Theorem 3's residual term).
+  Score skipped_mass = 0.0;
 };
 
 // Deterministic, intra-query-parallel random-walk executor — the shared hot
@@ -95,12 +102,16 @@ class WalkEngine {
   // Simulates every slice's walks and accumulates the deposits into
   // `scores` (sized num_nodes). `restart_node` is where kBackToSource
   // dangling walks jump. `time_budget_seconds` > 0 stops issuing blocks
-  // once the budget is spent. Slice weights must be positive.
+  // once the budget is spent; a non-null `cancel` token is polled at every
+  // block boundary and stops the run the same way (already-merged blocks
+  // stay in `scores`, skipped mass is reported in the stats). Slice
+  // weights must be positive.
   WalkEngineStats Run(const Graph& graph, const RwrConfig& config,
                       NodeId restart_node, const Rng& root,
                       std::span<const WalkSlice> slices,
                       std::vector<Score>& scores,
-                      double time_budget_seconds = 0.0);
+                      double time_budget_seconds = 0.0,
+                      const CancellationToken* cancel = nullptr);
 
   // Per-worker sparse accumulator: dense score array + touched list, reset
   // in O(touched) and reused across blocks and Run calls. Public only so

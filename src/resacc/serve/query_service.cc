@@ -1,8 +1,10 @@
 #include "resacc/serve/query_service.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "resacc/util/check.h"
+#include "resacc/util/fault_injection.h"
 #include "resacc/util/top_k.h"
 
 namespace resacc {
@@ -48,16 +50,34 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
           "Requests refused with kResourceExhausted (queue full).")),
       expired_(registry_.GetCounter(
           options_.metrics_prefix + "_expired_total", "",
-          "Requests expired with kDeadlineExceeded while queued.")),
+          "Requests expired with kDeadlineExceeded (queued or "
+          "mid-compute, without allow_degraded).")),
       coalesced_(registry_.GetCounter(
           options_.metrics_prefix + "_coalesced_total", "",
           "Requests attached to an in-flight computation.")),
       computed_(registry_.GetCounter(
           options_.metrics_prefix + "_computed_total", "",
           "Solver runs (cache/coalesce suppress these).")),
+      degraded_(registry_.GetCounter(
+          options_.metrics_prefix + "_degraded_total", "",
+          "Requests answered OK with a truncated result whose "
+          "achieved epsilon is above the configured bound.")),
+      cancelled_(registry_.GetCounter(
+          options_.metrics_prefix + "_cancelled_total", "",
+          "Requests resolved with kCancelled via Cancel(request_id).")),
+      stale_served_(registry_.GetCounter(
+          options_.metrics_prefix + "_stale_served_total", "",
+          "Stale cache entries served because the queue was past the "
+          "overload high-water mark.")),
       latency_(registry_.GetHistogram(
           options_.metrics_prefix + "_latency_seconds", "",
-          "Submit-to-completion latency of OK responses.")) {
+          "Submit-to-completion latency of OK responses.")),
+      queue_wait_(registry_.GetHistogram(
+          options_.metrics_prefix + "_queue_wait_seconds", "",
+          "Time a dequeued job spent waiting for a worker.")),
+      compute_hist_(registry_.GetHistogram(
+          options_.metrics_prefix + "_compute_seconds", "",
+          "Time a job spent inside the solver.")) {
   const std::string& prefix = options_.metrics_prefix;
   auto add_callback = [this](MetricKind kind, const std::string& name,
                              const std::string& help,
@@ -134,15 +154,29 @@ void QueryService::Stop() {
   pool_->Wait();
 }
 
-QueryResponse QueryService::MakeResponse(
-    const std::shared_ptr<const std::vector<Score>>& scores,
-    const Waiter& waiter, const Status& status) const {
+QueryResponse QueryService::MakeResponse(const Completion& completion,
+                                         const Waiter& waiter) const {
   QueryResponse response;
-  response.status = status;
+  response.status = completion.status;
   response.coalesced = waiter.coalesced;
-  if (status.ok()) {
-    response.scores = scores;
-    if (waiter.top_k > 0) response.top = TopKPairs(*scores, waiter.top_k);
+  response.degraded = completion.degraded;
+  response.achieved_epsilon = completion.achieved_epsilon;
+  response.uncorrected_mass = completion.uncorrected_mass;
+  response.queue_wait_seconds = completion.queue_wait_seconds;
+  response.compute_seconds = completion.compute_seconds;
+  // Graceful degradation: a deadline/cancel that fired mid-compute left a
+  // usable partial vector; a waiter that opted in takes it as OK +
+  // degraded instead of the error.
+  if (!completion.status.ok() && completion.scores != nullptr &&
+      waiter.allow_degraded) {
+    response.status = Status::Ok();
+    response.degraded = true;
+  }
+  if (response.status.ok() && completion.scores != nullptr) {
+    response.scores = completion.scores;
+    if (waiter.top_k > 0) {
+      response.top = TopKPairs(*completion.scores, waiter.top_k);
+    }
   }
   response.latency_seconds = SecondsSince(waiter.submit_time);
   return response;
@@ -163,21 +197,41 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   }
 
   const CacheKey key{config_hash_, request.source};
-  if (ResultCache::Value hit = cache_.Lookup(key)) {
-    Waiter waiter;
-    waiter.top_k = request.top_k;
-    waiter.submit_time = t0;
-    QueryResponse response = MakeResponse(hit, waiter, Status::Ok());
-    response.cache_hit = true;
-    submitted_.Increment();
-    completed_.Increment();
-    latency_.Record(response.latency_seconds);
-    return ReadyResponse(std::move(response));
+  const ResultCache::AgedValue hit = cache_.LookupWithAge(key);
+  if (hit.value != nullptr) {
+    const bool fresh = options_.cache_ttl_seconds <= 0.0 ||
+                       hit.age_seconds <= options_.cache_ttl_seconds;
+    // Admission control: a stale entry is normally recomputed, but once
+    // the queue passes the high-water mark a slightly-old answer now
+    // beats a fresh one that would deepen the backlog.
+    const bool overloaded =
+        queue_.size() >= static_cast<std::size_t>(
+                             options_.overload_high_water *
+                             static_cast<double>(queue_.capacity()));
+    if (fresh || (options_.serve_stale_under_overload && overloaded)) {
+      Waiter waiter;
+      waiter.top_k = request.top_k;
+      waiter.submit_time = t0;
+      Completion completion;
+      completion.scores = hit.value;
+      QueryResponse response = MakeResponse(completion, waiter);
+      response.cache_hit = true;
+      response.stale = !fresh;
+      submitted_.Increment();
+      completed_.Increment();
+      if (!fresh) stale_served_.Increment();
+      latency_.Record(response.latency_seconds);
+      return ReadyResponse(std::move(response));
+    }
+    // Stale and no overload: fall through; the recompute refreshes the
+    // entry.
   }
 
   Waiter waiter;
   waiter.top_k = request.top_k;
   waiter.submit_time = t0;
+  waiter.request_id = request.request_id;
+  waiter.allow_degraded = request.allow_degraded;
   std::future<QueryResponse> future = waiter.promise.get_future();
 
   const double deadline_seconds = request.deadline_seconds > 0.0
@@ -200,6 +254,9 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     auto it = inflight_.find(request.source);
     if (it != inflight_.end()) {
       waiter.coalesced = true;
+      if (waiter.request_id != 0) {
+        by_request_id_[waiter.request_id] = it->second;
+      }
       it->second->waiters.push_back(std::move(waiter));
       submitted_.Increment();
       coalesced_.Increment();
@@ -209,10 +266,16 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
 
   auto job = std::make_shared<Job>();
   job->source = request.source;
+  job->enqueue_time = t0;
   if (deadline_seconds > 0.0) {
-    job->deadline = t0 + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(deadline_seconds));
+    // Armed on the token relative to submission, so the same deadline
+    // covers queue wait and compute: the worker sees it at dequeue and the
+    // solver polls it between phases/blocks.
+    job->token.SetDeadlineAt(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(deadline_seconds)));
   }
+  const std::uint64_t request_id = waiter.request_id;
   job->waiters.push_back(std::move(waiter));
 
   if (!queue_.TryPush(job)) {
@@ -226,6 +289,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     return future;
   }
   if (options_.coalesce) inflight_[request.source] = job;
+  if (request_id != 0) by_request_id_[request_id] = job;
   submitted_.Increment();
   return future;
 }
@@ -234,31 +298,94 @@ QueryResponse QueryService::Query(const QueryRequest& request) {
   return Submit(request).get();
 }
 
+bool QueryService::Cancel(std::uint64_t request_id) {
+  if (request_id == 0) return false;
+  Waiter waiter;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = by_request_id_.find(request_id);
+    if (it == by_request_id_.end()) return false;
+    std::shared_ptr<Job> job = std::move(it->second);
+    by_request_id_.erase(it);
+    auto w = std::find_if(
+        job->waiters.begin(), job->waiters.end(),
+        [&](const Waiter& x) { return x.request_id == request_id; });
+    // FinalizeJob erases the id under this lock before moving the
+    // waiters out, so a registered id implies the waiter is still here.
+    RESACC_CHECK(w != job->waiters.end());
+    waiter = std::move(*w);
+    job->waiters.erase(w);
+    if (job->waiters.empty()) {
+      // Nobody wants the answer anymore: trip the token so a running
+      // solve unwinds at its next phase/block boundary, and retire the
+      // in-flight entry so later Submits schedule a fresh computation
+      // instead of coalescing onto a doomed job.
+      job->token.Cancel();
+      auto inf = inflight_.find(job->source);
+      if (inf != inflight_.end() && inf->second == job) inflight_.erase(inf);
+    }
+  }
+  cancelled_.Increment();
+  QueryResponse response;
+  response.status = Status::Cancelled("cancelled by caller");
+  response.coalesced = waiter.coalesced;
+  response.latency_seconds = SecondsSince(waiter.submit_time);
+  waiter.promise.set_value(std::move(response));
+  return true;
+}
+
 void QueryService::WorkerLoop(std::size_t worker_index) {
   SsrwrAlgorithm& solver = *solvers_[worker_index];
   std::shared_ptr<Job> job;
   while (queue_.Pop(job)) {
     if (options_.dequeue_hook) options_.dequeue_hook(job->source);
+    // Chaos site: a worker pausing between dequeue and compute (GC-style
+    // hiccup). Must only add latency, never change any answer.
+    if (RESACC_FAULT("serve.worker_stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
 
-    if (job->deadline != Clock::time_point::max() &&
-        Clock::now() > job->deadline) {
-      FinalizeJob(job, nullptr,
-                  Status::DeadlineExceeded(
-                      "request expired before a worker picked it up"));
+    Completion completion;
+    completion.queue_wait_seconds = SecondsSince(job->enqueue_time);
+    queue_wait_.Record(completion.queue_wait_seconds);
+
+    if (job->token.ShouldStop()) {
+      // Expired (or fully cancelled) while queued: resolve without
+      // touching the solver. No scores exist, so even allow_degraded
+      // waiters get the error.
+      completion.status = job->token.StopStatus();
+      FinalizeJob(job, completion);
       continue;
     }
 
-    auto scores = std::make_shared<const std::vector<Score>>(
-        solver.Query(job->source));
+    Timer compute_timer;
+    QueryControl control;
+    control.cancel = &job->token;
+    ControlledQueryResult result =
+        solver.QueryControlled(job->source, control);
+    completion.compute_seconds = compute_timer.ElapsedSeconds();
     computed_.Increment();
-    cache_.Insert(CacheKey{config_hash_, job->source}, scores);
-    FinalizeJob(job, std::move(scores), Status::Ok());
+    compute_hist_.Record(completion.compute_seconds);
+
+    completion.status = result.status;
+    completion.scores = std::make_shared<const std::vector<Score>>(
+        std::move(result.scores));
+    completion.degraded = result.degraded;
+    completion.achieved_epsilon = result.achieved_epsilon;
+    completion.uncorrected_mass = result.uncorrected_mass;
+    // Only full-accuracy vectors enter the cache: a degraded result is
+    // honest for the waiter that accepted it, but caching it would hand
+    // weaker answers to future requests that never opted in (and break
+    // the bit-identity-with-a-fresh-solver contract).
+    if (result.status.ok() && !result.degraded) {
+      cache_.Insert(CacheKey{config_hash_, job->source}, completion.scores);
+    }
+    FinalizeJob(job, completion);
   }
 }
 
-void QueryService::FinalizeJob(
-    const std::shared_ptr<Job>& job,
-    std::shared_ptr<const std::vector<Score>> scores, const Status& status) {
+void QueryService::FinalizeJob(const std::shared_ptr<Job>& job,
+                               const Completion& completion) {
   std::vector<Waiter> waiters;
   {
     // Retire the in-flight entry before publishing: after this point an
@@ -267,13 +394,23 @@ void QueryService::FinalizeJob(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = inflight_.find(job->source);
     if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+    for (const Waiter& waiter : job->waiters) {
+      if (waiter.request_id == 0) continue;
+      auto rit = by_request_id_.find(waiter.request_id);
+      if (rit != by_request_id_.end() && rit->second == job) {
+        by_request_id_.erase(rit);
+      }
+    }
     waiters = std::move(job->waiters);
   }
   for (Waiter& waiter : waiters) {
-    QueryResponse response = MakeResponse(scores, waiter, status);
-    if (status.ok()) {
+    QueryResponse response = MakeResponse(completion, waiter);
+    if (response.status.ok()) {
       completed_.Increment();
+      if (response.degraded) degraded_.Increment();
       latency_.Record(response.latency_seconds);
+    } else if (response.status.code() == StatusCode::kCancelled) {
+      cancelled_.Increment();
     } else {
       expired_.Increment();
     }
@@ -291,6 +428,9 @@ ServerStats QueryService::Snapshot() const {
   stats.expired = expired_.Value();
   stats.coalesced = coalesced_.Value();
   stats.computed = computed_.Value();
+  stats.degraded = degraded_.Value();
+  stats.cancelled = cancelled_.Value();
+  stats.stale_served = stale_served_.Value();
 
   const ResultCache::Counters cache = cache_.counters();
   stats.cache_hits = cache.hits;
@@ -309,6 +449,8 @@ ServerStats QueryService::Snapshot() const {
                         stats.uptime_seconds
                   : 0.0;
   stats.latency = latency_.TakeSnapshot();
+  stats.queue_wait = queue_wait_.TakeSnapshot();
+  stats.compute = compute_hist_.TakeSnapshot();
   return stats;
 }
 

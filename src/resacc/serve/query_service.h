@@ -21,6 +21,7 @@
 #include "resacc/serve/result_cache.h"
 #include "resacc/serve/server_stats.h"
 #include "resacc/util/bounded_queue.h"
+#include "resacc/util/cancellation.h"
 #include "resacc/util/histogram.h"
 #include "resacc/util/status.h"
 #include "resacc/util/thread_pool.h"
@@ -50,10 +51,26 @@ struct ServeOptions {
   // computing attach to that computation instead of enqueuing a duplicate.
   bool coalesce = true;
 
-  // Deadline applied to requests that do not set one; 0 means none. A
-  // request whose deadline passes while it waits in the queue completes
-  // with kDeadlineExceeded instead of occupying a worker.
+  // Deadline applied to requests that do not set one; 0 means none. The
+  // deadline is enforced end-to-end: a request whose deadline passes while
+  // queued completes with kDeadlineExceeded without touching a worker, and
+  // one that expires mid-compute stops the solver cooperatively at the
+  // next phase/block boundary (util/cancellation.h) instead of blocking
+  // its worker for the full solve.
   double default_deadline_seconds = 0.0;
+
+  // Age at which a cached result counts as stale; 0 (default) means
+  // entries never go stale. Fresh-enough entries are always served; stale
+  // ones are recomputed — except under overload (below).
+  double cache_ttl_seconds = 0.0;
+
+  // Admission control: when the submission queue is at or past
+  // `overload_high_water` x capacity and `serve_stale_under_overload` is
+  // set, a stale cache entry is served (tagged QueryResponse::stale)
+  // instead of deepening the backlog. Only meaningful with a TTL; without
+  // one entries are never stale in the first place.
+  double overload_high_water = 0.75;
+  bool serve_stale_under_overload = true;
 
   // Solver knobs shared by every worker.
   ResAccOptions solver;
@@ -90,6 +107,16 @@ struct QueryRequest {
   // Relative deadline from submission; 0 falls back to the service
   // default. Coalesced requests share the leader's deadline.
   double deadline_seconds = 0.0;
+  // Nonzero registers the request for Cancel(request_id). Ids are chosen
+  // by the caller and must be unique among in-flight requests (a reused id
+  // simply re-points the registration). Requests answered synchronously
+  // (cache hit, rejection) are never registered — there is nothing left
+  // to cancel.
+  std::uint64_t request_id = 0;
+  // Accept a partial result instead of an error when the deadline fires
+  // mid-compute: the response comes back status-OK with `degraded` set and
+  // `achieved_epsilon` reporting the honest (weaker) accuracy bound.
+  bool allow_degraded = false;
 };
 
 struct QueryResponse {
@@ -104,6 +131,26 @@ struct QueryResponse {
   bool coalesced = false;
   // Submit-to-completion wall seconds as observed by this client.
   double latency_seconds = 0.0;
+
+  // Set on OK responses whose computation was truncated (deadline with
+  // allow_degraded, or a solver-level time budget): `scores` misses
+  // `uncorrected_mass` of probability mass and satisfies the weaker bound
+  // `achieved_epsilon` instead of the configured epsilon. Degraded
+  // results are never cached — only full-accuracy vectors enter the
+  // cache. achieved_epsilon is also filled on complete responses (then it
+  // equals the configured epsilon; 0 for non-ResAcc/FORA/MC backends that
+  // predate the contract).
+  bool degraded = false;
+  double achieved_epsilon = 0.0;
+  Score uncorrected_mass = 0.0;
+  // Served from a cache entry older than cache_ttl_seconds because the
+  // queue was past the overload high-water mark.
+  bool stale = false;
+  // The latency split: seconds the job waited for a worker vs. seconds
+  // inside the solver. Zero for cache hits (neither happened) and for
+  // coalesced followers (they share the leader's job).
+  double queue_wait_seconds = 0.0;
+  double compute_seconds = 0.0;
 };
 
 // Long-lived, thread-safe serving front-end over the index-free solver —
@@ -135,12 +182,21 @@ class QueryService {
 
   // Non-blocking submission. The returned future always becomes ready:
   // with scores, or with a non-OK status (kResourceExhausted on queue
-  // overflow, kDeadlineExceeded on expiry, kInvalidArgument,
-  // kFailedPrecondition after Stop).
+  // overflow, kDeadlineExceeded on expiry, kCancelled via Cancel(),
+  // kInvalidArgument, kFailedPrecondition after Stop).
   std::future<QueryResponse> Submit(const QueryRequest& request);
 
   // Blocking convenience wrapper around Submit.
   QueryResponse Query(const QueryRequest& request);
+
+  // Cancels the in-flight request registered under `request_id` (see
+  // QueryRequest::request_id): its future resolves promptly with
+  // kCancelled. Only that caller is affected — a coalesced computation
+  // keeps running for its other waiters and is itself cancelled
+  // (cooperatively, at the next phase/block boundary) only when its last
+  // waiter leaves. Returns false when the id is unknown — never submitted,
+  // already completed, or already cancelled.
+  bool Cancel(std::uint64_t request_id);
 
   // Point-in-time view of the service assembled from the metrics registry
   // — the registry is the single source of truth; this struct is a
@@ -166,24 +222,41 @@ class QueryService {
     std::size_t top_k = 0;
     Clock::time_point submit_time;
     bool coalesced = false;
+    std::uint64_t request_id = 0;
+    bool allow_degraded = false;
   };
 
-  // One scheduled computation; coalesced requests append Waiters.
+  // One scheduled computation; coalesced requests append Waiters. The
+  // token carries the job's deadline into the solver and is tripped by
+  // Cancel() once no waiter remains.
   struct Job {
     NodeId source = 0;
-    Clock::time_point deadline = Clock::time_point::max();
+    CancellationToken token;
+    Clock::time_point enqueue_time;
     std::vector<Waiter> waiters;
   };
 
+  // What the worker (or the queued-expiry path) hands to FinalizeJob: the
+  // solver outcome plus the latency split.
+  struct Completion {
+    Status status;
+    std::shared_ptr<const std::vector<Score>> scores;
+    bool degraded = false;
+    double achieved_epsilon = 0.0;
+    Score uncorrected_mass = 0.0;
+    double queue_wait_seconds = 0.0;
+    double compute_seconds = 0.0;
+  };
+
   void WorkerLoop(std::size_t worker_index);
-  // Publishes `scores`/`status` to every waiter and retires the job from
-  // the in-flight table.
+  // Publishes the completion to every remaining waiter and retires the job
+  // from the in-flight and request-id tables. Waiters that set
+  // allow_degraded receive a deadline-truncated partial result as OK +
+  // degraded; the rest receive the bare error.
   void FinalizeJob(const std::shared_ptr<Job>& job,
-                   std::shared_ptr<const std::vector<Score>> scores,
-                   const Status& status);
-  QueryResponse MakeResponse(
-      const std::shared_ptr<const std::vector<Score>>& scores,
-      const Waiter& waiter, const Status& status) const;
+                   const Completion& completion);
+  QueryResponse MakeResponse(const Completion& completion,
+                             const Waiter& waiter) const;
 
   const Graph& graph_;
   const RwrConfig config_;
@@ -199,6 +272,9 @@ class QueryService {
   // only written under it, but read lock-free for the Submit fast path.
   mutable std::mutex mutex_;
   std::unordered_map<NodeId, std::shared_ptr<Job>> inflight_;
+  // request_id -> the job carrying that waiter, maintained for Cancel();
+  // entries are erased when the job finalizes or the waiter is cancelled.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> by_request_id_;
   std::atomic<bool> stopped_{false};
 
   Timer uptime_;
@@ -214,7 +290,12 @@ class QueryService {
   Counter& expired_;
   Counter& coalesced_;
   Counter& computed_;
+  Counter& degraded_;
+  Counter& cancelled_;
+  Counter& stale_served_;
   LatencyHistogram& latency_;
+  LatencyHistogram& queue_wait_;
+  LatencyHistogram& compute_hist_;
   // Callback series (cache/queue/uptime gauges) to unregister before the
   // state they borrow dies.
   std::vector<std::uint64_t> callback_ids_;

@@ -1,8 +1,10 @@
 #include "resacc/serve/result_cache.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "resacc/util/check.h"
+#include "resacc/util/fault_injection.h"
 
 namespace resacc {
 namespace {
@@ -55,18 +57,27 @@ ResultCache::ResultCache(std::size_t max_bytes, std::size_t num_shards)
   }
 }
 
-ResultCache::Value ResultCache::Lookup(const CacheKey& key) {
-  if (max_bytes_ == 0) return nullptr;
+ResultCache::AgedValue ResultCache::LookupWithAge(const CacheKey& key) {
+  if (max_bytes_ == 0) return {};
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  // Chaos site: a forced miss models a cache wiped or unreachable. The
+  // entry stays resident (and correct) for later lookups.
+  if (RESACC_FAULT("result_cache.lookup_miss")) {
+    ++shard.misses;
+    return {};
+  }
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    return nullptr;
+    return {};
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->value;
+  return {it->second->value,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        it->second->inserted)
+              .count()};
 }
 
 void ResultCache::Insert(const CacheKey& key, Value value) {
@@ -76,21 +87,34 @@ void ResultCache::Insert(const CacheKey& key, Value value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
 
+  const auto now = std::chrono::steady_clock::now();
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
     shard.bytes += bytes;
     it->second->value = std::move(value);
     it->second->bytes = bytes;
+    it->second->inserted = now;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.lru.push_front(Entry{key, std::move(value), bytes, now});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += bytes;
     ++shard.insertions;
   }
 
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+
+  // Chaos site: spuriously evict the LRU tail even under budget. Goes
+  // through the same accounting as a real eviction, so chaos_test can
+  // assert bytes == sum(entry bytes) survives any schedule of these.
+  if (RESACC_FAULT("result_cache.evict") && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
     shard.index.erase(victim.key);

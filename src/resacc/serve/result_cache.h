@@ -1,6 +1,7 @@
 #ifndef RESACC_SERVE_RESULT_CACHE_H_
 #define RESACC_SERVE_RESULT_CACHE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -76,9 +77,20 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
+  // A Lookup hit plus how long ago the entry was inserted — the serving
+  // layer's staleness signal (entries are never expired by the cache
+  // itself; the caller decides what "too old" means).
+  struct AgedValue {
+    Value value;  // nullptr on miss
+    double age_seconds = 0.0;
+  };
+
   // Returns the cached vector (marking the entry most-recently-used) or
   // nullptr on miss.
-  Value Lookup(const CacheKey& key);
+  Value Lookup(const CacheKey& key) { return LookupWithAge(key).value; }
+
+  // Lookup variant reporting the entry's age.
+  AgedValue LookupWithAge(const CacheKey& key);
 
   // Inserts or refreshes `value`, evicting LRU entries as needed to stay
   // within the shard's byte budget.
@@ -96,6 +108,7 @@ class ResultCache {
     CacheKey key;
     Value value;
     std::size_t bytes = 0;
+    std::chrono::steady_clock::time_point inserted;
   };
   struct Shard {
     std::mutex mutex;

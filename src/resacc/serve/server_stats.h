@@ -17,10 +17,15 @@ struct ServerStats {
   std::uint64_t submitted = 0;  // accepted into the service
   std::uint64_t completed = 0;  // responded OK (computed, cached, coalesced)
   std::uint64_t rejected = 0;   // backpressure: queue full at submit
-  std::uint64_t expired = 0;    // deadline passed before a worker ran it
+  std::uint64_t expired = 0;    // deadline passed (queued or mid-compute)
   std::uint64_t coalesced = 0;  // attached to an identical in-flight query
   std::uint64_t computed = 0;   // solver executions (cache+coalescing saves
                                 // show up as completed - computed)
+  std::uint64_t degraded = 0;   // answered OK with an achieved-epsilon tag
+                                // above the configured bound
+  std::uint64_t cancelled = 0;  // resolved with kCancelled via Cancel()
+  std::uint64_t stale_served = 0;  // stale cache entries served under
+                                   // overload (admission control)
 
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -38,6 +43,13 @@ struct ServerStats {
   double qps = 0.0;
 
   LatencyHistogram::Snapshot latency;
+  // The split of `latency`: time a job spent queued before a worker
+  // picked it up (every dequeued job, including ones that expired while
+  // waiting — that wait is exactly the interesting number) vs. time
+  // inside the solver (computed jobs only). Cache hits appear in
+  // neither, so counts differ from `latency`'s.
+  LatencyHistogram::Snapshot queue_wait;
+  LatencyHistogram::Snapshot compute;
 
   // hits / (hits + misses); 0 when the cache is disabled or untouched.
   double CacheHitRate() const;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "resacc/util/check.h"
+#include "resacc/util/fault_injection.h"
 
 namespace resacc {
 
@@ -32,6 +33,7 @@ class BoundedQueue {
 
   // Enqueues without blocking. Returns false if the queue is full or closed.
   bool TryPush(T item) {
+    if (RESACC_FAULT("bounded_queue.try_push")) return false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;

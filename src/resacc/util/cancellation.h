@@ -1,0 +1,104 @@
+#ifndef RESACC_UTIL_CANCELLATION_H_
+#define RESACC_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "resacc/util/status.h"
+
+namespace resacc {
+
+// Cooperative cancellation/budget token shared between a request owner and
+// the code computing its answer. The owner arms a deadline and/or calls
+// Cancel() from any thread; the computation polls ShouldStop() at safe
+// points (between solver phases, every push batch, every walk block) and
+// unwinds with whatever partial result it can expose honestly.
+//
+// Copies share one underlying state (shared_ptr), so the serving layer can
+// keep a handle for Cancel(request_id) while a worker thread carries
+// another into the solver. All operations are thread-safe; the fast path
+// of ShouldStop is one relaxed atomic load plus — only when a deadline is
+// armed — one steady_clock read, cheap enough for once-per-block polling.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  // Token that fires `seconds_from_now` after construction (<= 0 never).
+  static CancellationToken WithDeadline(double seconds_from_now) {
+    CancellationToken token;
+    if (seconds_from_now > 0.0) token.SetDeadlineAfter(seconds_from_now);
+    return token;
+  }
+
+  void SetDeadlineAfter(double seconds_from_now) {
+    SetDeadlineAt(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds_from_now)));
+  }
+
+  void SetDeadlineAt(Clock::time_point deadline) {
+    state_->deadline_ticks.store(deadline.time_since_epoch().count(),
+                                 std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return state_->deadline_ticks.load(std::memory_order_relaxed) !=
+           kNoDeadline;
+  }
+
+  // Requests cancellation. Idempotent; wins over a later deadline expiry
+  // in StopStatus().
+  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  // True once the token has fired: explicitly cancelled, or the armed
+  // deadline has passed.
+  bool ShouldStop() const {
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    const Clock::rep deadline =
+        state_->deadline_ticks.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline) return false;
+    return Clock::now().time_since_epoch().count() >= deadline;
+  }
+
+  // Why the token fired: kCancelled for an explicit Cancel, otherwise
+  // kDeadlineExceeded. Ok when the token has not fired.
+  Status StopStatus() const {
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (ShouldStop()) {
+      return Status::DeadlineExceeded("deadline exceeded during compute");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr Clock::rep kNoDeadline =
+      std::numeric_limits<Clock::rep>::max();
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<Clock::rep> deadline_ticks{kNoDeadline};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// Convenience for the nullable-pointer form threaded through the compute
+// layers: a null token never stops.
+inline bool ShouldStop(const CancellationToken* token) {
+  return token != nullptr && token->ShouldStop();
+}
+
+}  // namespace resacc
+
+#endif  // RESACC_UTIL_CANCELLATION_H_

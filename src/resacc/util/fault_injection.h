@@ -1,0 +1,71 @@
+#ifndef RESACC_UTIL_FAULT_INJECTION_H_
+#define RESACC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace resacc {
+
+// Deterministic fault-injection framework for chaos testing.
+//
+// Production code marks sites with RESACC_FAULT("dotted.site.name") and
+// takes the failure branch when it returns true: a queue push reports
+// full, a cache lookup misses, a walk worker stalls. Whether the k-th hit
+// of a site fails is a pure function of (seed, site name, k) — computed as
+// SplitMix64(seed ^ fnv1a(site) ^ k) mapped against the site's failure
+// probability — so a failing chaos run replays exactly under the same
+// seed, regardless of thread interleaving of *other* sites (each site
+// counts its own hits).
+//
+// Disarmed (the default), a site costs one relaxed atomic load; the
+// framework only arms when a test calls Arm()/ArmSite() or the process
+// starts with RESACC_FAULTS=1 in the environment (probability
+// RESACC_FAULT_PROB, default 0.05; seed RESACC_FAULT_SEED, default 1).
+// Defining RESACC_NO_FAULT_INJECTION at compile time removes the sites
+// entirely for builds that must not carry even the load.
+class FaultInjection {
+ public:
+  // Arms every site with the same failure probability. Resets counters.
+  static void Arm(std::uint64_t seed, double probability);
+
+  // Overrides the probability for one site (arming the framework if it
+  // was disarmed). probability 0 makes the site never fail.
+  static void ArmSite(const char* site, double probability);
+
+  // Disarms everything and clears per-site state.
+  static void Disarm();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Decides the current hit of `site` (advancing its hit counter).
+  // Always false when disarmed. Prefer the RESACC_FAULT macro.
+  static bool ShouldFail(const char* site);
+
+  // Per-site counters since the last Arm/Disarm, for test assertions.
+  static std::uint64_t Hits(const char* site);
+  static std::uint64_t Failures(const char* site);
+
+  // Applies the RESACC_FAULTS / RESACC_FAULT_PROB / RESACC_FAULT_SEED
+  // environment knobs. Called once automatically before main(); public
+  // so tests can re-apply after mutating the environment.
+  static void InitFromEnv();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace resacc
+
+// Marks a fault-injection site. Evaluates to true when the site should
+// take its failure branch this time.
+#ifdef RESACC_NO_FAULT_INJECTION
+#define RESACC_FAULT(site) false
+#else
+#define RESACC_FAULT(site)                    \
+  (::resacc::FaultInjection::enabled() &&     \
+   ::resacc::FaultInjection::ShouldFail(site))
+#endif
+
+#endif  // RESACC_UTIL_FAULT_INJECTION_H_

@@ -19,7 +19,8 @@ enum class StatusCode {
   kResourceExhausted,  // e.g. index exceeds the configured memory budget
   kFailedPrecondition,
   kInternal,
-  kDeadlineExceeded,  // serving: request expired before a worker ran it
+  kDeadlineExceeded,  // serving: request expired while queued or mid-compute
+  kCancelled,         // serving: request cancelled via Cancel(request_id)
 };
 
 // A success-or-error result, modelled after absl::Status but minimal.
@@ -50,6 +51,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

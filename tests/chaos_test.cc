@@ -1,0 +1,278 @@
+// Chaos regression tests (PR 4): the deterministic fault-injection
+// framework itself, and the system invariants that must survive injected
+// faults — every Submit future resolves, the result cache stays
+// internally consistent through forced misses/evictions, and walk-engine
+// bit-identity is unaffected by injected worker stalls. Runs under TSAN
+// in CI (fault injection is runtime-gated, so the sanitizer build carries
+// the sites).
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resacc/core/resacc_solver.h"
+#include "resacc/core/walk_engine.h"
+#include "resacc/graph/generators.h"
+#include "resacc/serve/query_service.h"
+#include "resacc/serve/result_cache.h"
+#include "resacc/util/fault_injection.h"
+#include "resacc/util/rng.h"
+
+namespace resacc {
+namespace {
+
+RwrConfig TestConfig(const Graph& graph) {
+  RwrConfig config = RwrConfig::ForGraphSize(graph.num_nodes());
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.seed = 7;
+  return config;
+}
+
+// Every test disarms on exit so a failure cannot leak chaos into whatever
+// runs next in the same process.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Disarm(); }
+};
+
+// --- FaultInjection framework ---------------------------------------------
+
+TEST_F(ChaosTest, DisarmedSitesNeverFail) {
+  FaultInjection::Disarm();
+  EXPECT_FALSE(FaultInjection::enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(RESACC_FAULT("chaos_test.disarmed"));
+  }
+}
+
+TEST_F(ChaosTest, DecisionsReplayExactlyUnderTheSameSeed) {
+  std::vector<bool> first;
+  FaultInjection::Arm(/*seed=*/123, /*probability=*/0.5);
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(FaultInjection::ShouldFail("chaos_test.replay"));
+  }
+  EXPECT_EQ(FaultInjection::Hits("chaos_test.replay"), 200u);
+
+  FaultInjection::Arm(123, 0.5);  // re-arm resets counters
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(FaultInjection::ShouldFail("chaos_test.replay"), first[i])
+        << "hit " << i;
+  }
+  // Sites count independently: interleaving another site does not shift
+  // the replayed site's sequence.
+  FaultInjection::Arm(123, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    FaultInjection::ShouldFail("chaos_test.other");
+    EXPECT_EQ(FaultInjection::ShouldFail("chaos_test.replay"), first[i])
+        << "hit " << i;
+  }
+}
+
+TEST_F(ChaosTest, ProbabilityEndpointsAndPerSiteOverride) {
+  FaultInjection::Arm(/*seed=*/9, /*probability=*/1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(FaultInjection::ShouldFail("chaos_test.always"));
+  }
+  EXPECT_EQ(FaultInjection::Failures("chaos_test.always"), 50u);
+
+  FaultInjection::ArmSite("chaos_test.never", 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(FaultInjection::ShouldFail("chaos_test.never"));
+  }
+  EXPECT_EQ(FaultInjection::Hits("chaos_test.never"), 50u);
+  EXPECT_EQ(FaultInjection::Failures("chaos_test.never"), 0u);
+}
+
+TEST_F(ChaosTest, ArmedFractionTracksProbability) {
+  FaultInjection::Arm(/*seed=*/77, /*probability=*/0.25);
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    FaultInjection::ShouldFail("chaos_test.fraction");
+  }
+  const double fraction =
+      static_cast<double>(FaultInjection::Failures("chaos_test.fraction")) /
+      trials;
+  // 5-sigma band around 0.25 (sigma ~ 0.0068).
+  EXPECT_NEAR(fraction, 0.25, 0.035);
+}
+
+TEST_F(ChaosTest, EnvironmentArmsBeforeMain) {
+  // The pre-main initializer already ran; exercise the public re-apply
+  // path both ways and restore.
+  ::setenv("RESACC_FAULTS", "1", 1);
+  ::setenv("RESACC_FAULT_PROB", "0.125", 1);
+  ::setenv("RESACC_FAULT_SEED", "99", 1);
+  FaultInjection::InitFromEnv();
+  EXPECT_TRUE(FaultInjection::enabled());
+
+  ::setenv("RESACC_FAULTS", "0", 1);
+  FaultInjection::InitFromEnv();
+  EXPECT_FALSE(FaultInjection::enabled());
+  ::unsetenv("RESACC_FAULTS");
+  ::unsetenv("RESACC_FAULT_PROB");
+  ::unsetenv("RESACC_FAULT_SEED");
+}
+
+// --- Service liveness under chaos -----------------------------------------
+
+TEST_F(ChaosTest, EverySubmitResolvesWithFaultsArmed) {
+  const Graph graph = ChungLuPowerLaw(300, 1500, 2.5, /*seed=*/21);
+  const RwrConfig config = TestConfig(graph);
+
+  // Reference answers computed before arming — chaos must never change an
+  // OK answer, only availability.
+  ResAccSolver reference(graph, config, ResAccOptions{});
+  std::vector<std::vector<Score>> expected;
+  for (NodeId s = 0; s < 8; ++s) expected.push_back(reference.Query(s));
+
+  FaultInjection::Arm(/*seed=*/4242, /*probability=*/0.05);
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 8;  // small: injected + real rejections both hit
+  options.cache_bytes = 1 << 20;
+  QueryService service(graph, config, options);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int round = 0; round < 25; ++round) {
+    for (NodeId s = 0; s < 8; ++s) {
+      QueryRequest request;
+      request.source = s;
+      futures.push_back(service.Submit(request));
+    }
+  }
+
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "future " << i << " never resolved";
+    const QueryResponse response = futures[i].get();
+    if (response.status.ok()) {
+      ++ok;
+      ASSERT_NE(response.scores, nullptr);
+      const std::vector<Score>& exact = expected[i % 8];
+      ASSERT_EQ(response.scores->size(), exact.size());
+      for (std::size_t v = 0; v < exact.size(); ++v) {
+        ASSERT_DOUBLE_EQ((*response.scores)[v], exact[v])
+            << "source " << i % 8 << " node " << v;
+      }
+    } else {
+      ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted)
+          << response.status.ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + rejected, futures.size());
+
+  // Disarmed, the same service answers normally again.
+  FaultInjection::Disarm();
+  QueryRequest request;
+  request.source = 3;
+  const QueryResponse after = service.Query(request);
+  ASSERT_TRUE(after.status.ok());
+  for (std::size_t v = 0; v < expected[3].size(); ++v) {
+    ASSERT_DOUBLE_EQ((*after.scores)[v], expected[3][v]);
+  }
+}
+
+// --- Result cache consistency under injected evictions/misses -------------
+
+TEST_F(ChaosTest, CacheStaysConsistentThroughInjectedEvictionsAndMisses) {
+  FaultInjection::Arm(/*seed=*/5150, /*probability=*/0.0);
+  FaultInjection::ArmSite("result_cache.evict", 0.5);
+  FaultInjection::ArmSite("result_cache.lookup_miss", 0.3);
+
+  static constexpr std::size_t kVectorLength = 16;
+  static constexpr std::size_t kEntryBytes = kVectorLength * sizeof(Score);
+  ResultCache cache(/*max_bytes=*/64 * kEntryBytes, /*num_shards=*/4);
+
+  auto make_value = [](NodeId source) {
+    auto value = std::make_shared<std::vector<Score>>(kVectorLength);
+    for (std::size_t i = 0; i < kVectorLength; ++i) {
+      (*value)[i] = static_cast<Score>(source) + static_cast<Score>(i) * 1e-3;
+    }
+    return value;
+  };
+
+  Rng rng(33);
+  for (int step = 0; step < 2000; ++step) {
+    const NodeId source = static_cast<NodeId>(rng.NextBounded(48));
+    const CacheKey key{0xabcdef, source};
+    if (step % 3 == 0) {
+      cache.Insert(key, make_value(source));
+    } else {
+      const ResultCache::Value hit = cache.Lookup(key);
+      if (hit != nullptr) {
+        // A hit — through any schedule of injected faults — is always the
+        // exact vector inserted for that key, never a torn/stale mix.
+        ASSERT_EQ(hit->size(), kVectorLength);
+        EXPECT_DOUBLE_EQ((*hit)[0], static_cast<Score>(source));
+        EXPECT_DOUBLE_EQ((*hit)[5],
+                         static_cast<Score>(source) + 5e-3);
+      }
+    }
+    // Byte accounting survives every injected eviction: entries all have
+    // the same payload, so bytes must equal entries x entry size.
+    const ResultCache::Counters counters = cache.counters();
+    ASSERT_EQ(counters.bytes, counters.entries * kEntryBytes)
+        << "step " << step;
+    ASSERT_LE(counters.bytes, cache.max_bytes());
+  }
+  const ResultCache::Counters final_counters = cache.counters();
+  EXPECT_GT(final_counters.evictions, 0u);  // the chaos site actually fired
+  EXPECT_GT(final_counters.misses, 0u);
+
+  FaultInjection::Disarm();
+  // With faults gone, a fresh insert is immediately visible.
+  const CacheKey key{0xabcdef, 7};
+  cache.Insert(key, make_value(7));
+  EXPECT_NE(cache.Lookup(key), nullptr);
+}
+
+// --- Walk engine bit-identity under injected stalls -----------------------
+
+TEST_F(ChaosTest, WalkEngineBitIdentitySurvivesInjectedStalls) {
+  const Graph graph = ChungLuPowerLaw(400, 2400, 2.5, /*seed=*/31);
+  const RwrConfig config = TestConfig(graph);
+  const Rng root(config.seed);
+
+  std::vector<WalkSlice> slices;
+  for (NodeId v = 0; v < 40; ++v) {
+    slices.push_back(WalkSlice{v, /*num_walks=*/3000, /*weight=*/1e-4, v});
+  }
+
+  // Reference: single-threaded, no faults.
+  FaultInjection::Disarm();
+  std::vector<Score> expected(graph.num_nodes(), 0.0);
+  WalkEngine sequential(1);
+  const WalkEngineStats ref_stats = sequential.Run(
+      graph, config, /*restart_node=*/0, root, slices, expected);
+  EXPECT_FALSE(ref_stats.cancelled);
+  EXPECT_DOUBLE_EQ(ref_stats.skipped_mass, 0.0);
+
+  // Chaos: four threads, every block stalled with probability 0.5. The
+  // stalls perturb scheduling/merge timing as hard as a busy machine
+  // would; the deposits must not move by a single bit.
+  FaultInjection::Arm(/*seed=*/61, /*probability=*/0.0);
+  FaultInjection::ArmSite("walk_engine.block_stall", 0.5);
+  std::vector<Score> chaotic(graph.num_nodes(), 0.0);
+  WalkEngine parallel(4);
+  const WalkEngineStats chaos_stats = parallel.Run(
+      graph, config, /*restart_node=*/0, root, slices, chaotic);
+  EXPECT_GT(FaultInjection::Hits("walk_engine.block_stall"), 0u);
+  EXPECT_EQ(chaos_stats.walks, ref_stats.walks);
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    ASSERT_DOUBLE_EQ(chaotic[v], expected[v]) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace resacc

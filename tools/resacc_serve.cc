@@ -1,14 +1,16 @@
 // resacc_serve — line-protocol RWR query server over stdin/stdout.
 //
 //   resacc_serve <graph> [--undirected] [--workers=N] [--queue=N]
-//                [--cache-mb=M] [--no-coalesce] [--deadline-ms=D]
-//                [--window=W] [--alpha=A] [--epsilon=E] [--seed=S]
+//                [--cache-mb=M] [--cache-ttl=SECONDS] [--no-coalesce]
+//                [--deadline-ms=D] [--allow-degraded] [--window=W]
+//                [--alpha=A] [--epsilon=E] [--seed=S]
 //                [--dangling=absorb|source] [--walk-threads=W]
 //                [--stats-interval=SECONDS]
 //
 // Protocol (one request per line on stdin, one response line on stdout,
 // responses in request order):
 //   query <source> [top-k]  ->  ok <source> hit=0|1 coalesced=0|1
+//                                degraded=0|1 stale=0|1 eps=<achieved>
 //                                us=<latency> top <node>:<score> ...
 //   info                    ->  info nodes=<n> edges=<m> workers=<w>
 //   stats                   ->  stats <key=value ...>
@@ -65,9 +67,11 @@ void PrintResponse(NodeId source, const QueryResponse& response) {
     std::printf("err %s\n", response.status.ToString().c_str());
     return;
   }
-  std::printf("ok %u hit=%d coalesced=%d us=%.0f top", source,
-              response.cache_hit ? 1 : 0, response.coalesced ? 1 : 0,
-              response.latency_seconds * 1e6);
+  std::printf("ok %u hit=%d coalesced=%d degraded=%d stale=%d eps=%.3g "
+              "us=%.0f top",
+              source, response.cache_hit ? 1 : 0, response.coalesced ? 1 : 0,
+              response.degraded ? 1 : 0, response.stale ? 1 : 0,
+              response.achieved_epsilon, response.latency_seconds * 1e6);
   for (const auto& [node, score] : response.top) {
     std::printf(" %u:%.6e", node, score);
   }
@@ -116,6 +120,12 @@ int main(int argc, char** argv) {
   options.coalesce = !args.HasFlag("no-coalesce");
   options.default_deadline_seconds =
       args.GetDouble("deadline-ms", 0.0) / 1e3;
+  // Staleness/degradation knobs (docs/API.md): a TTL turns on the
+  // serve-stale-under-overload admission control; --allow-degraded makes
+  // every query accept a deadline-truncated partial result (tagged
+  // degraded=1 with its honest eps) instead of an err line.
+  options.cache_ttl_seconds = args.GetDouble("cache-ttl", 0.0);
+  const bool allow_degraded = args.HasFlag("allow-degraded");
   // Walk-phase threads per worker solver. Default 1: the service already
   // runs one solver per worker, and scores never depend on this knob
   // (walk_engine.h), so raising it only trades worker throughput for
@@ -192,6 +202,7 @@ int main(int argc, char** argv) {
       QueryRequest request;
       request.source = static_cast<NodeId>(source);
       request.top_k = static_cast<std::size_t>(top_k);
+      request.allow_degraded = allow_degraded;
       OutputItem item;
       item.kind = OutputItem::Kind::kResponse;
       item.source = request.source;
