@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -17,6 +18,8 @@
 #include "resacc/core/random_walk.h"
 #include "resacc/core/walk_engine.h"
 #include "resacc/graph/generators.h"
+#include "resacc/graph/graph_io.h"
+#include "resacc/graph/graph_snapshot.h"
 #include "resacc/util/timer.h"
 #include "resacc/graph/hop_layers.h"
 #include "resacc/la/dense_matrix.h"
@@ -134,6 +137,65 @@ BENCHMARK(BM_RemedyWalkEngine)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Graph ingest / storage: text parse (sequential and chunk-parallel),
+// RESACC01 binary load, RESACC02 snapshot save + mmap load. Fixture files
+// are written once per process into the system temp directory.
+
+std::string BenchTempPath(const char* name) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  return std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/" + name;
+}
+
+const Graph& IoGraph() {
+  static const Graph& graph =
+      *new Graph(ChungLuPowerLaw(20000, 200000, 2.2, 11));
+  return graph;
+}
+
+const std::string& IoTextPath() {
+  static const std::string& path = *[] {
+    auto* p = new std::string(BenchTempPath("resacc_bench_io.txt"));
+    SaveEdgeList(IoGraph(), *p);
+    return p;
+  }();
+  return path;
+}
+
+const std::string& IoSnapshotPath() {
+  static const std::string& path = *[] {
+    auto* p = new std::string(BenchTempPath("resacc_bench_io.rsg"));
+    SaveSnapshot(IoGraph(), *p);
+    return p;
+  }();
+  return path;
+}
+
+void BM_LoadEdgeList(benchmark::State& state) {
+  const std::string& path = IoTextPath();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    StatusOr<Graph> graph = LoadEdgeList(path, false, threads);
+    benchmark::DoNotOptimize(graph.value().num_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(IoGraph().num_edges()));
+}
+BENCHMARK(BM_LoadEdgeList)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSnapshotMmap(benchmark::State& state) {
+  const std::string& path = IoSnapshotPath();
+  for (auto _ : state) {
+    StatusOr<Graph> graph = LoadSnapshot(path);
+    benchmark::DoNotOptimize(graph.value().num_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(IoGraph().num_edges()));
+}
+BENCHMARK(BM_LoadSnapshotMmap);
 
 void BM_HopLayers(benchmark::State& state) {
   const Graph& g = BenchGraph();
@@ -292,19 +354,125 @@ int WriteWalkEngineJson(const std::string& path) {
   return all_identical ? 0 : 1;
 }
 
+bool SameCsr(const Graph& a, const Graph& b) {
+  const auto eq = [](auto lhs, auto rhs) {
+    return lhs.size() == rhs.size() &&
+           std::equal(lhs.begin(), lhs.end(), rhs.begin());
+  };
+  return a.num_nodes() == b.num_nodes() &&
+         eq(a.raw_out_offsets(), b.raw_out_offsets()) &&
+         eq(a.raw_out_targets(), b.raw_out_targets()) &&
+         eq(a.raw_in_offsets(), b.raw_in_offsets()) &&
+         eq(a.raw_in_sources(), b.raw_in_sources());
+}
+
+// Machine-readable graph-ingest/load throughput record for CI trend
+// tracking (--graph_io_json=PATH): a 1M-edge power-law graph is saved and
+// reloaded through every storage path (text sequential/parallel, RESACC01
+// binary, RESACC02 snapshot mmap/buffered) with edges-per-second rates and
+// a CSR bit-identity check across all loads (exit 1 on mismatch).
+int WriteGraphIoJson(const std::string& path) {
+  const Graph graph = ChungLuPowerLaw(100000, 1000000, 2.2, 9);
+  const std::string text_path = BenchTempPath("resacc_graph_io_bench.txt");
+  const std::string bin_path = BenchTempPath("resacc_graph_io_bench.bin");
+  const std::string rsg_path = BenchTempPath("resacc_graph_io_bench.rsg");
+
+  struct Row {
+    const char* op;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  const auto timed = [&](const char* op, auto&& fn) {
+    Timer timer;
+    const bool identical = fn();
+    rows.push_back(Row{op, timer.ElapsedSeconds(), identical});
+    all_identical = all_identical && identical;
+  };
+
+  timed("save_text", [&] { return SaveEdgeList(graph, text_path).ok(); });
+  timed("load_text_seq", [&] {
+    StatusOr<Graph> loaded = LoadEdgeList(text_path, false, 1);
+    return loaded.ok() && SameCsr(graph, loaded.value());
+  });
+  timed("load_text_parallel", [&] {
+    StatusOr<Graph> loaded = LoadEdgeList(text_path, false, 0);
+    return loaded.ok() && SameCsr(graph, loaded.value());
+  });
+  timed("save_binary", [&] { return SaveBinary(graph, bin_path).ok(); });
+  timed("load_binary", [&] {
+    StatusOr<Graph> loaded = LoadBinary(bin_path);
+    return loaded.ok() && SameCsr(graph, loaded.value());
+  });
+  timed("save_snapshot", [&] { return SaveSnapshot(graph, rsg_path).ok(); });
+  timed("load_snapshot_mmap", [&] {
+    StatusOr<Graph> loaded = LoadSnapshot(rsg_path);
+    return loaded.ok() && loaded.value().borrows_storage() &&
+           SameCsr(graph, loaded.value());
+  });
+  timed("load_snapshot_buffered", [&] {
+    SnapshotLoadOptions options;
+    options.prefer_mmap = false;
+    options.verify_section_checksum = true;
+    StatusOr<Graph> loaded = LoadSnapshot(rsg_path, options);
+    return loaded.ok() && !loaded.value().borrows_storage() &&
+           SameCsr(graph, loaded.value());
+  });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"graph_io\",\n"
+               "  \"graph\": {\"nodes\": %u, \"edges\": %llu},\n"
+               "  \"parse_threads\": %u,\n"
+               "  \"all_loads_bit_identical\": %s,\n"
+               "  \"operations\": [\n",
+               graph.num_nodes(),
+               static_cast<unsigned long long>(graph.num_edges()),
+               std::thread::hardware_concurrency(),
+               all_identical ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"op\": \"%s\", \"seconds\": %.6f, "
+                 "\"edges_per_sec\": %.0f, \"ok\": %s}%s\n",
+                 row.op, row.seconds,
+                 static_cast<double>(graph.num_edges()) / row.seconds,
+                 row.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+  std::remove(rsg_path.c_str());
+  std::printf("wrote %s\n", path.c_str());
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-// BENCHMARK_MAIN plus one extra flag: --walk_engine_json=PATH runs the
-// walk-engine thread sweep after the registered benchmarks and writes the
-// JSON record (exit 1 if the bitwise-identity check fails — this is the CI
-// smoke test's assertion).
+// BENCHMARK_MAIN plus two extra flags, both run after the registered
+// benchmarks: --walk_engine_json=PATH writes the walk-engine thread-sweep
+// record, --graph_io_json=PATH the graph-ingest/storage record. Either
+// exits 1 if its bitwise-identity check fails — these are the CI smoke
+// test's assertions.
 int main(int argc, char** argv) {
-  std::string json_path;
+  std::string walk_json_path;
+  std::string io_json_path;
   int argc_out = 0;
   for (int i = 0; i < argc; ++i) {
-    constexpr char kFlag[] = "--walk_engine_json=";
-    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
-      json_path = argv[i] + sizeof(kFlag) - 1;
+    constexpr char kWalkFlag[] = "--walk_engine_json=";
+    constexpr char kIoFlag[] = "--graph_io_json=";
+    if (std::strncmp(argv[i], kWalkFlag, sizeof(kWalkFlag) - 1) == 0) {
+      walk_json_path = argv[i] + sizeof(kWalkFlag) - 1;
+    } else if (std::strncmp(argv[i], kIoFlag, sizeof(kIoFlag) - 1) == 0) {
+      io_json_path = argv[i] + sizeof(kIoFlag) - 1;
     } else {
       argv[argc_out++] = argv[i];
     }
@@ -314,6 +482,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty()) return WriteWalkEngineJson(json_path);
-  return 0;
+  int exit_code = 0;
+  if (!walk_json_path.empty()) exit_code |= WriteWalkEngineJson(walk_json_path);
+  if (!io_json_path.empty()) exit_code |= WriteGraphIoJson(io_json_path);
+  return exit_code;
 }

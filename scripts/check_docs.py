@@ -38,12 +38,18 @@ LINKED_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
 SNIPPET_DOC = "docs/API.md"
 
 # Sections whose presence is contractual: the serving robustness
-# semantics (cancellation/degraded results) and the operator guidance
-# for them live nowhere else, so a doc refactor that drops either
-# heading must fail CI. Checked as GitHub anchor slugs.
+# semantics (cancellation/degraded results), the operator guidance for
+# them, the RESACC02 on-disk byte layout, and the Graph span-ownership
+# model live nowhere else, so a doc refactor that drops any of these
+# headings must fail CI. Checked as GitHub anchor slugs.
 REQUIRED_SECTIONS = {
-    "docs/API.md": ["cancellation-deadlines--degraded-results"],
+    "docs/API.md": [
+        "cancellation-deadlines--degraded-results",
+        "graph-storage",
+        "resacc02-byte-layout",
+    ],
     "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
+    "DESIGN.md": ["storage-ownership-borrowed-spans"],
 }
 
 # Declarations the API.md snippets may reference without declaring; the

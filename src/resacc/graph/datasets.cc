@@ -1,9 +1,12 @@
 #include "resacc/graph/datasets.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "resacc/graph/generators.h"
+#include "resacc/graph/graph_snapshot.h"
 #include "resacc/util/check.h"
+#include "resacc/util/logging.h"
 
 namespace resacc {
 namespace {
@@ -89,6 +92,24 @@ Graph MakeDataset(const DatasetSpec& spec, double scale, std::uint64_t seed) {
 
 std::vector<DatasetSpec> HeadlineDatasets() {
   return {FindDataset("dblp-sim").value(), FindDataset("twitter-sim").value()};
+}
+
+StatusOr<Graph> LoadOrBuildDataset(const DatasetSpec& spec, double scale,
+                                   std::uint64_t seed,
+                                   const std::string& cache_dir) {
+  char key[128];
+  std::snprintf(key, sizeof(key), "%s-s%g-%llu.rsg", spec.name.c_str(), scale,
+                static_cast<unsigned long long>(seed));
+  const std::string path = cache_dir + "/" + key;
+  StatusOr<Graph> cached = LoadSnapshot(path);
+  if (cached.ok()) return cached;
+  Graph built = MakeDataset(spec, scale, seed);
+  const Status saved = SaveSnapshot(built, path);
+  if (!saved.ok()) {
+    RESACC_LOG(Warning) << "dataset snapshot cache write failed: "
+                        << saved.ToString();
+  }
+  return built;
 }
 
 }  // namespace resacc

@@ -50,6 +50,14 @@ Graph MakeDataset(const DatasetSpec& spec, double scale = 1.0,
 // experiments (the paper uses DBLP and Twitter).
 std::vector<DatasetSpec> HeadlineDatasets();
 
+// Like MakeDataset, but cached as a RESACC02 snapshot under `cache_dir`
+// (keyed by name/scale/seed): the first call generates and saves, later
+// calls mmap the snapshot in O(header) time instead of re-generating.
+// A cache write failure degrades to returning the freshly built graph.
+StatusOr<Graph> LoadOrBuildDataset(const DatasetSpec& spec, double scale,
+                                   std::uint64_t seed,
+                                   const std::string& cache_dir);
+
 }  // namespace resacc
 
 #endif  // RESACC_GRAPH_DATASETS_H_

@@ -8,10 +8,49 @@ Graph::Graph(NodeId num_nodes, std::vector<EdgeId> out_offsets,
              std::vector<NodeId> out_targets, std::vector<EdgeId> in_offsets,
              std::vector<NodeId> in_sources)
     : num_nodes_(num_nodes),
-      out_offsets_(std::move(out_offsets)),
-      out_targets_(std::move(out_targets)),
-      in_offsets_(std::move(in_offsets)),
-      in_sources_(std::move(in_sources)) {
+      owned_out_offsets_(std::move(out_offsets)),
+      owned_out_targets_(std::move(out_targets)),
+      owned_in_offsets_(std::move(in_offsets)),
+      owned_in_sources_(std::move(in_sources)),
+      out_offsets_(owned_out_offsets_),
+      out_targets_(owned_out_targets_),
+      in_offsets_(owned_in_offsets_),
+      in_sources_(owned_in_sources_) {
+  CheckInvariants();
+}
+
+Graph::Graph(NodeId num_nodes, std::span<const EdgeId> out_offsets,
+             std::span<const NodeId> out_targets,
+             std::span<const EdgeId> in_offsets,
+             std::span<const NodeId> in_sources,
+             std::shared_ptr<const void> storage)
+    : num_nodes_(num_nodes),
+      out_offsets_(out_offsets),
+      out_targets_(out_targets),
+      in_offsets_(in_offsets),
+      in_sources_(in_sources),
+      storage_(std::move(storage)) {
+  RESACC_CHECK(storage_ != nullptr);
+  CheckInvariants();
+}
+
+Graph::Graph(const Graph& other)
+    : Graph(other.num_nodes_,
+            std::vector<EdgeId>(other.out_offsets_.begin(),
+                                other.out_offsets_.end()),
+            std::vector<NodeId>(other.out_targets_.begin(),
+                                other.out_targets_.end()),
+            std::vector<EdgeId>(other.in_offsets_.begin(),
+                                other.in_offsets_.end()),
+            std::vector<NodeId>(other.in_sources_.begin(),
+                                other.in_sources_.end())) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) *this = Graph(other);
+  return *this;
+}
+
+void Graph::CheckInvariants() const {
   RESACC_CHECK(out_offsets_.size() == static_cast<std::size_t>(num_nodes_) + 1);
   RESACC_CHECK(in_offsets_.size() == static_cast<std::size_t>(num_nodes_) + 1);
   RESACC_CHECK(out_offsets_.back() == out_targets_.size());

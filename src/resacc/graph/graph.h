@@ -2,6 +2,7 @@
 #define RESACC_GRAPH_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -20,21 +21,49 @@ namespace resacc {
 //   * no duplicate edges,
 //   * neighbour lists sorted ascending.
 //
-// Construct via GraphBuilder; Graph itself is movable and cheap to pass by
-// const reference.
+// Storage ownership (DESIGN.md "Storage ownership: borrowed spans"): the
+// accessors read four spans. A graph either *owns* the CSR arrays (the
+// GraphBuilder path — spans view its own vectors) or *borrows* them from an
+// opaque storage object it keeps alive (the zero-copy mmap snapshot path,
+// graph/graph_snapshot.h). Algorithms cannot tell the difference.
+//
+// Construct via GraphBuilder; Graph is movable and cheap to pass by const
+// reference. Copying materializes: the copy always owns its arrays.
 class Graph {
  public:
   Graph() = default;
 
-  // Takes ownership of prebuilt CSR arrays. Prefer GraphBuilder.
+  // Owning: takes ownership of prebuilt CSR arrays. Prefer GraphBuilder.
   Graph(NodeId num_nodes, std::vector<EdgeId> out_offsets,
         std::vector<NodeId> out_targets, std::vector<EdgeId> in_offsets,
         std::vector<NodeId> in_sources);
+
+  // Borrowing: views over CSR arrays owned by `storage` (an mmap'd
+  // snapshot, an arena, ...). The graph holds `storage` alive for its own
+  // lifetime; the viewed bytes must stay valid and immutable.
+  Graph(NodeId num_nodes, std::span<const EdgeId> out_offsets,
+        std::span<const NodeId> out_targets,
+        std::span<const EdgeId> in_offsets,
+        std::span<const NodeId> in_sources,
+        std::shared_ptr<const void> storage);
+
+  // Copies deep-copy into owned arrays, even from a borrowing graph, so a
+  // copy never pins an mmap'd file.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  // Moving a std::vector keeps its heap buffer, so member-wise moves leave
+  // the spans of an owning graph valid in the destination.
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
 
   NodeId num_nodes() const { return num_nodes_; }
   EdgeId num_edges() const {
     return static_cast<EdgeId>(out_targets_.size());
   }
+
+  // True when the CSR arrays live in an external storage object (e.g. a
+  // mapped .rsg snapshot) rather than heap vectors owned by this graph.
+  bool borrows_storage() const { return storage_ != nullptr; }
 
   NodeId OutDegree(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
@@ -47,13 +76,13 @@ class Graph {
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
-    return {out_targets_.data() + out_offsets_[u],
-            out_targets_.data() + out_offsets_[u + 1]};
+    return out_targets_.subspan(out_offsets_[u],
+                                out_offsets_[u + 1] - out_offsets_[u]);
   }
   std::span<const NodeId> InNeighbors(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
-    return {in_sources_.data() + in_offsets_[u],
-            in_sources_.data() + in_offsets_[u + 1]};
+    return in_sources_.subspan(in_offsets_[u],
+                               in_offsets_[u + 1] - in_offsets_[u]);
   }
 
   // The j-th out-neighbour of u; random walks index neighbours directly.
@@ -78,16 +107,33 @@ class Graph {
   // selection (Appendix C) and BePI hub extraction.
   std::vector<NodeId> NodesByOutDegreeDesc() const;
 
-  // Approximate heap footprint of the CSR arrays, reported as "graph size"
-  // in the Table IV reproduction.
+  // Approximate resident footprint of the CSR arrays (owned heap or mapped
+  // file bytes), reported as "graph size" in the Table IV reproduction.
   std::size_t MemoryBytes() const;
 
+  // Raw CSR sections in snapshot order; for storage/serialization code
+  // (graph_snapshot.cc, format converters) — algorithms use the accessors.
+  std::span<const EdgeId> raw_out_offsets() const { return out_offsets_; }
+  std::span<const NodeId> raw_out_targets() const { return out_targets_; }
+  std::span<const EdgeId> raw_in_offsets() const { return in_offsets_; }
+  std::span<const NodeId> raw_in_sources() const { return in_sources_; }
+
  private:
+  void CheckInvariants() const;
+
   NodeId num_nodes_ = 0;
-  std::vector<EdgeId> out_offsets_;  // size num_nodes_ + 1
-  std::vector<NodeId> out_targets_;  // size num_edges
-  std::vector<EdgeId> in_offsets_;   // size num_nodes_ + 1
-  std::vector<NodeId> in_sources_;   // size num_edges
+  // Owned backing arrays; empty when the graph borrows from storage_.
+  std::vector<EdgeId> owned_out_offsets_;
+  std::vector<NodeId> owned_out_targets_;
+  std::vector<EdgeId> owned_in_offsets_;
+  std::vector<NodeId> owned_in_sources_;
+  // The views every accessor reads: into the owned vectors or storage_.
+  std::span<const EdgeId> out_offsets_;  // size num_nodes_ + 1
+  std::span<const NodeId> out_targets_;  // size num_edges
+  std::span<const EdgeId> in_offsets_;   // size num_nodes_ + 1
+  std::span<const NodeId> in_sources_;   // size num_edges
+  // Keep-alive for borrowed storage (unmaps/frees on last release).
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace resacc

@@ -6,10 +6,11 @@
 //                [--trace-json=out.json]
 //   resacc msrwr graph.txt --sources=1,2,3 [--threads=4]
 //   resacc communities graph.txt --count=50
-//   resacc convert graph.txt graph.bin
+//   resacc convert graph.txt graph.rsg
 //
-// Graph files ending in .bin use the binary format; anything else is read
-// as a SNAP-style edge list. `--undirected` symmetrizes on load.
+// Graph files ending in .rsg use the mmap'd RESACC02 snapshot, .bin the
+// RESACC01 binary format; anything else is read as a SNAP-style edge
+// list. `--undirected` symmetrizes on load (text only).
 
 #include <algorithm>
 #include <cstddef>
@@ -42,19 +43,8 @@ namespace {
 
 using namespace resacc;
 
-bool IsBinaryPath(const std::string& path) {
-  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
-}
-
-StatusOr<Graph> LoadAny(const std::string& path, bool undirected) {
-  if (IsBinaryPath(path)) return LoadBinary(path);
-  return LoadEdgeList(path, undirected);
-}
-
-Status SaveAny(const Graph& graph, const std::string& path) {
-  if (IsBinaryPath(path)) return SaveBinary(graph, path);
-  return SaveEdgeList(graph, path);
-}
+// Extension dispatch lives in graph_io.h: .rsg = RESACC02 snapshot,
+// .bin = RESACC01 binary, anything else = edge-list text.
 
 // walk_threads: intra-query parallelism of the walk phase (resacc, fora,
 // mc; the other solvers have no walk phase). 0 = hardware concurrency.
@@ -162,7 +152,7 @@ int CmdGenerate(const ArgParser& args) {
   }
 
   const std::string& out = args.positionals()[1];
-  const Status status = SaveAny(graph, out);
+  const Status status = SaveGraphAuto(graph, out);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -314,7 +304,7 @@ int CmdConvert(const ArgParser& args, const Graph& graph) {
     std::fprintf(stderr, "usage: resacc convert <in> <out>\n");
     return 2;
   }
-  const Status status = SaveAny(graph, args.positionals()[2]);
+  const Status status = SaveGraphAuto(graph, args.positionals()[2]);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -338,8 +328,9 @@ void PrintUsage() {
       "                (default W = cores/T, walk parallelism per solver)\n"
       "  communities <graph> [--count=C] [--print]\n"
       "  convert <in> <out>\n\n"
-      "graphs: *.bin = resacc binary, otherwise edge-list text\n"
-      "        (--undirected symmetrizes on load)\n");
+      "graphs: *.rsg = RESACC02 mmap snapshot (fastest to load),\n"
+      "        *.bin = RESACC01 binary, otherwise edge-list text\n"
+      "        (--undirected symmetrizes on load, text only)\n");
 }
 
 }  // namespace
@@ -359,7 +350,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const StatusOr<Graph> graph =
-      LoadAny(args.positionals()[1], args.HasFlag("undirected"));
+      LoadGraphAuto(args.positionals()[1], args.HasFlag("undirected"));
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
