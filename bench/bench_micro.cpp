@@ -17,9 +17,12 @@
 #include "resacc/core/forward_push.h"
 #include "resacc/core/random_walk.h"
 #include "resacc/core/walk_engine.h"
+#include "resacc/graph/dynamic/mutable_graph_view.h"
 #include "resacc/graph/generators.h"
 #include "resacc/graph/graph_io.h"
 #include "resacc/graph/graph_snapshot.h"
+#include "resacc/serve/query_service.h"
+#include "resacc/serve/workload.h"
 #include "resacc/util/timer.h"
 #include "resacc/graph/hop_layers.h"
 #include "resacc/la/dense_matrix.h"
@@ -455,24 +458,253 @@ int WriteGraphIoJson(const std::string& path) {
   return all_identical ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic graphs: mutation throughput through MutableGraphView (single-edge
+// publishes vs ApplyBatch), compaction fold time, and the payoff of the
+// guarantee-preserving cache invalidation — cache hit rate under a Zipfian
+// query stream with interleaved churn, targeted promotion vs the
+// flush-everything baseline.
+
+void BM_EdgeToggle(benchmark::State& state) {
+  MutableGraphView view(ChungLuPowerLaw(20000, 200000, 2.2, 11));
+  const NodeId n = 20000;
+  Rng rng(5);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (v == u) v = (v + 1) % n;
+    // Toggle: the add either lands or tells us the edge exists.
+    if (view.AddEdge(u, v).code() == StatusCode::kAlreadyExists) {
+      benchmark::DoNotOptimize(view.RemoveEdge(u, v));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EdgeToggle);
+
+// One churn serving run: `queries` Zipfian queries with a batch of
+// `kChurnBatch` cold-region edge toggles (plus an UpdateGraph) every
+// `kChurnPeriod` queries. Returns the observed cache hits; kept/dropped
+// come out of the service's own counters.
+struct ChurnResult {
+  std::size_t hits = 0;
+  std::size_t queries = 0;
+  std::uint64_t promoted = 0;
+  std::uint64_t dropped = 0;
+  std::size_t mutation_batches = 0;
+};
+
+constexpr std::size_t kChurnQueries = 400;
+constexpr std::size_t kChurnPeriod = 15;
+constexpr std::size_t kChurnBatch = 8;
+
+ChurnResult RunChurnWorkload(ServeOptions::InvalidationMode mode) {
+  // Fresh, identically seeded world per mode: same graph, same query
+  // stream, same mutation stream — the only difference is the policy.
+  Graph base = ChungLuPowerLaw(10000, 100000, 2.2, 21);
+  const NodeId n = base.num_nodes();
+  RwrConfig config = RwrConfig::ForGraphSize(n);
+  config.dangling = DanglingPolicy::kAbsorb;
+  config.seed = 77;
+  MutableGraphView view(std::move(base));
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.invalidation = mode;
+  const Graph serving = view.Snapshot();
+  QueryService service(serving, config, options);
+
+  ZipfianSources workload(n, /*theta=*/0.99, /*seed=*/31);
+  Rng qrng(31);
+  Rng mrng(87);
+
+  // Churn lands on the graph's periphery: edges among nodes that start
+  // with zero in-degree. No walk from any other source ever reaches those
+  // rows (and edges added within the set keep it closed), so their
+  // influence bound is exactly zero — the regime targeted invalidation is
+  // built for, a fringe that churns while the core serves queries.
+  // Queries sourced *inside* the fringe do carry mass there and are
+  // correctly dropped, which keeps the comparison honest.
+  std::vector<NodeId> fringe;
+  {
+    const Graph snapshot = view.Snapshot();
+    for (NodeId u = 0; u < n; ++u) {
+      if (snapshot.InDegree(u) == 0) fringe.push_back(u);
+    }
+  }
+  if (fringe.size() < 2) return ChurnResult{};  // degenerate generator seed
+
+  const auto mutate_batch = [&] {
+    const Graph snapshot = view.Snapshot();
+    GraphDelta delta;
+    std::vector<EdgeMutation> batch;
+    for (std::size_t i = 0; i < kChurnBatch; ++i) {
+      const NodeId u = fringe[mrng.NextBounded(fringe.size())];
+      NodeId v = fringe[mrng.NextBounded(fringe.size())];
+      if (v == u) continue;
+      batch.push_back(EdgeMutation{u, v, snapshot.HasEdge(u, v)});
+    }
+    if (view.ApplyBatch(batch, &delta).ok()) {
+      service.UpdateGraph(view.Snapshot(), delta);
+    }
+  };
+
+  ChurnResult result;
+  for (std::size_t i = 0; i < kChurnQueries; ++i) {
+    if (i > 0 && i % kChurnPeriod == 0) {
+      mutate_batch();
+      ++result.mutation_batches;
+    }
+    QueryRequest request;
+    request.source = workload.Next(qrng);
+    const QueryResponse response = service.Query(request);
+    if (!response.status.ok()) continue;
+    ++result.queries;
+    if (response.cache_hit) ++result.hits;
+  }
+  result.promoted =
+      service.metrics().GetCounter("resacc_serve_cache_kept_total").Value();
+  result.dropped =
+      service.metrics().GetCounter("resacc_serve_invalidated_total").Value();
+  return result;
+}
+
+// Machine-readable record of the dynamic-graph subsystem
+// (--dynamic_json=PATH): mutation publish throughput (single vs batched),
+// compaction fold time, and the churn-serving hit-rate comparison. Exits 1
+// unless targeted invalidation beats the flush-everything baseline
+// strictly — the acceptance criterion of the live-graph PR.
+int WriteDynamicJson(const std::string& path) {
+  const NodeId n = 20000;
+  MutableGraphView view(ChungLuPowerLaw(n, 200000, 2.2, 11));
+  Rng rng(5);
+
+  // Single-edge publishes: every op is one epoch (one overlay version).
+  const std::size_t single_ops = 20000;
+  Timer single_timer;
+  for (std::size_t i = 0; i < single_ops; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (v == u) v = (v + 1) % n;
+    if (view.AddEdge(u, v).code() == StatusCode::kAlreadyExists) {
+      (void)view.RemoveEdge(u, v);
+    }
+  }
+  const double single_seconds = single_timer.ElapsedSeconds();
+
+  // Batched publishes: kBatch mutations amortize one epoch.
+  const std::size_t kBatch = 1000;
+  const std::size_t num_batches = 20;
+  Timer batch_timer;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    std::vector<EdgeMutation> batch;
+    const Graph snapshot = view.Snapshot();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (v == u) v = (v + 1) % n;
+      batch.push_back(EdgeMutation{u, v, snapshot.HasEdge(u, v)});
+    }
+    std::size_t skipped = 0;
+    (void)view.ApplyBatch(batch, nullptr, &skipped);
+  }
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+
+  const MutableGraphStats before_fold = view.stats();
+  Timer compact_timer;
+  const CompactionInfo fold = view.Compact();
+  const double compact_seconds = compact_timer.ElapsedSeconds();
+
+  const ChurnResult targeted =
+      RunChurnWorkload(ServeOptions::InvalidationMode::kTargeted);
+  const ChurnResult flush =
+      RunChurnWorkload(ServeOptions::InvalidationMode::kFlushAll);
+  const bool strictly_higher = targeted.hits > flush.hits;
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const auto rate = [](std::size_t hits, std::size_t queries) {
+    return queries > 0
+               ? static_cast<double>(hits) / static_cast<double>(queries)
+               : 0.0;
+  };
+  std::fprintf(
+      file,
+      "{\n"
+      "  \"bench\": \"dynamic\",\n"
+      "  \"graph\": {\"nodes\": %u, \"edges\": 200000},\n"
+      "  \"mutation_throughput\": {\n"
+      "    \"single_ops\": %zu, \"single_ops_per_sec\": %.0f,\n"
+      "    \"batched_ops\": %zu, \"batch_size\": %zu, "
+      "\"batched_ops_per_sec\": %.0f\n"
+      "  },\n"
+      "  \"compaction\": {\"seconds\": %.6f, \"folded_rows\": %zu, "
+      "\"overlay_rows_before\": %zu, \"generation\": %llu},\n",
+      n, single_ops,
+      static_cast<double>(single_ops) / single_seconds,
+      kBatch * num_batches, kBatch,
+      static_cast<double>(kBatch * num_batches) / batch_seconds,
+      compact_seconds, fold.folded_rows, before_fold.overlay_rows,
+      static_cast<unsigned long long>(fold.generation));
+  std::fprintf(
+      file,
+      "  \"churn_cache\": {\n"
+      "    \"queries\": %zu, \"zipf_theta\": 0.99, "
+      "\"mutation_batches\": %zu, \"batch_size\": %zu,\n"
+      "    \"targeted\": {\"hits\": %zu, \"hit_rate\": %.4f, "
+      "\"promoted\": %llu, \"dropped\": %llu},\n"
+      "    \"flush_all\": {\"hits\": %zu, \"hit_rate\": %.4f, "
+      "\"dropped\": %llu},\n"
+      "    \"targeted_strictly_higher\": %s\n"
+      "  }\n"
+      "}\n",
+      kChurnQueries, targeted.mutation_batches, kChurnBatch, targeted.hits,
+      rate(targeted.hits, targeted.queries),
+      static_cast<unsigned long long>(targeted.promoted),
+      static_cast<unsigned long long>(targeted.dropped), flush.hits,
+      rate(flush.hits, flush.queries),
+      static_cast<unsigned long long>(flush.dropped),
+      strictly_higher ? "true" : "false");
+  std::fclose(file);
+  std::printf("wrote %s (targeted hits %zu vs flush %zu)\n", path.c_str(),
+              targeted.hits, flush.hits);
+  if (!strictly_higher) {
+    std::fprintf(stderr,
+                 "dynamic bench: targeted invalidation did not beat "
+                 "flush-all (%zu <= %zu)\n",
+                 targeted.hits, flush.hits);
+  }
+  return strictly_higher ? 0 : 1;
+}
+
 }  // namespace
 
-// BENCHMARK_MAIN plus two extra flags, both run after the registered
+// BENCHMARK_MAIN plus three extra flags, all run after the registered
 // benchmarks: --walk_engine_json=PATH writes the walk-engine thread-sweep
-// record, --graph_io_json=PATH the graph-ingest/storage record. Either
-// exits 1 if its bitwise-identity check fails — these are the CI smoke
-// test's assertions.
+// record, --graph_io_json=PATH the graph-ingest/storage record, and
+// --dynamic_json=PATH the live-graph mutation/compaction/invalidation
+// record. Each exits 1 if its built-in assertion fails (bitwise identity
+// for the first two, targeted-beats-flush for the dynamic one) — these
+// are the CI smoke test's assertions.
 int main(int argc, char** argv) {
   std::string walk_json_path;
   std::string io_json_path;
+  std::string dynamic_json_path;
   int argc_out = 0;
   for (int i = 0; i < argc; ++i) {
     constexpr char kWalkFlag[] = "--walk_engine_json=";
     constexpr char kIoFlag[] = "--graph_io_json=";
+    constexpr char kDynamicFlag[] = "--dynamic_json=";
     if (std::strncmp(argv[i], kWalkFlag, sizeof(kWalkFlag) - 1) == 0) {
       walk_json_path = argv[i] + sizeof(kWalkFlag) - 1;
     } else if (std::strncmp(argv[i], kIoFlag, sizeof(kIoFlag) - 1) == 0) {
       io_json_path = argv[i] + sizeof(kIoFlag) - 1;
+    } else if (std::strncmp(argv[i], kDynamicFlag,
+                            sizeof(kDynamicFlag) - 1) == 0) {
+      dynamic_json_path = argv[i] + sizeof(kDynamicFlag) - 1;
     } else {
       argv[argc_out++] = argv[i];
     }
@@ -485,5 +717,8 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (!walk_json_path.empty()) exit_code |= WriteWalkEngineJson(walk_json_path);
   if (!io_json_path.empty()) exit_code |= WriteGraphIoJson(io_json_path);
+  if (!dynamic_json_path.empty()) {
+    exit_code |= WriteDynamicJson(dynamic_json_path);
+  }
   return exit_code;
 }

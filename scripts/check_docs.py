@@ -47,9 +47,13 @@ REQUIRED_SECTIONS = {
         "cancellation-deadlines--degraded-results",
         "graph-storage",
         "resacc02-byte-layout",
+        "dynamic-graphs-mutations-and-invalidation",
     ],
     "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
-    "DESIGN.md": ["storage-ownership-borrowed-spans"],
+    "DESIGN.md": [
+        "storage-ownership-borrowed-spans",
+        "dynamic-graphs-delta-overlay-epochs-compaction",
+    ],
 }
 
 # Declarations the API.md snippets may reference without declaring; the

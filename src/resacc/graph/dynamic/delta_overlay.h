@@ -1,0 +1,98 @@
+#ifndef RESACC_GRAPH_DYNAMIC_DELTA_OVERLAY_H_
+#define RESACC_GRAPH_DYNAMIC_DELTA_OVERLAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "resacc/util/check.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// One published version of the in-memory delta a MutableGraphView layers
+// over its immutable base CSR (DESIGN.md "Dynamic graphs").
+//
+// The overlay is *row-granular copy-on-write*: a node whose adjacency was
+// touched by any mutation owns a complete replacement row (sorted
+// ascending, deduplicated — the same invariants GraphBuilder establishes),
+// while every untouched node keeps reading the base CSR in place. Merged
+// iteration therefore costs one bit test per node on the hot path and
+// never copies the base arrays; only mutated rows are materialized, at
+// O(degree) once per (node, direction).
+//
+// New nodes live in a logical tail [base_num_nodes, num_nodes): they are
+// always marked dirty in both directions (their rows, possibly empty, are
+// in the maps), so a clean bit implies the node is safely covered by the
+// base spans. Node removal is expressed as removing the node's edges; ids
+// are never reused, which is what keeps cached score vectors indexable.
+//
+// A DeltaOverlay is immutable once published: MutableGraphView builds the
+// next version by copying the maps (shallow — rows are shared_ptr) and
+// cloning only the rows the batch touches, then publishes it atomically.
+// Readers pin a version via shared_ptr from Graph snapshots and are never
+// blocked or invalidated by later mutations.
+struct DeltaOverlay {
+  using Row = std::shared_ptr<const std::vector<NodeId>>;
+
+  NodeId base_num_nodes = 0;
+  // Totals for the merged graph this overlay + base represent.
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+
+  // One bit per node (word-packed, sized for num_nodes): set iff the
+  // node's row in that direction is overridden by the maps below.
+  std::vector<std::uint64_t> out_dirty;
+  std::vector<std::uint64_t> in_dirty;
+  // Complete replacement rows for dirty nodes. An entry exists for every
+  // set dirty bit and vice versa.
+  std::unordered_map<NodeId, Row> out_rows;
+  std::unordered_map<NodeId, Row> in_rows;
+
+  static bool TestBit(const std::vector<std::uint64_t>& bits, NodeId u) {
+    return (bits[u >> 6] >> (u & 63)) & 1;
+  }
+  static void SetBit(std::vector<std::uint64_t>& bits, NodeId u) {
+    bits[u >> 6] |= std::uint64_t{1} << (u & 63);
+  }
+
+  bool OutDirty(NodeId u) const { return TestBit(out_dirty, u); }
+  bool InDirty(NodeId u) const { return TestBit(in_dirty, u); }
+
+  std::span<const NodeId> OutRow(NodeId u) const {
+    const auto it = out_rows.find(u);
+    RESACC_DCHECK(it != out_rows.end());
+    return *it->second;
+  }
+  std::span<const NodeId> InRow(NodeId u) const {
+    const auto it = in_rows.find(u);
+    RESACC_DCHECK(it != in_rows.end());
+    return *it->second;
+  }
+
+  bool empty() const { return out_rows.empty() && in_rows.empty(); }
+  std::size_t dirty_rows() const { return out_rows.size() + in_rows.size(); }
+
+  // Resident bytes of the overlay structures (rows counted once even when
+  // shared across versions).
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = (out_dirty.size() + in_dirty.size()) *
+                        sizeof(std::uint64_t);
+    for (const auto& [node, row] : out_rows) {
+      (void)node;
+      bytes += sizeof(NodeId) + row->size() * sizeof(NodeId);
+    }
+    for (const auto& [node, row] : in_rows) {
+      (void)node;
+      bytes += sizeof(NodeId) + row->size() * sizeof(NodeId);
+    }
+    return bytes;
+  }
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_DYNAMIC_DELTA_OVERLAY_H_

@@ -1,0 +1,22 @@
+#include "resacc/graph/dynamic/invalidation.h"
+
+#include <limits>
+
+namespace resacc {
+
+double MutationInfluence(const GraphDelta& delta, double alpha,
+                         const std::vector<Score>& scores) {
+  if (delta.nodes_added) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double mass = 0.0;
+  for (const NodeId u : delta.dirty_out) {
+    if (static_cast<std::size_t>(u) >= scores.size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    mass += static_cast<double>(scores[u]);
+  }
+  return 2.0 * (1.0 - alpha) / alpha * mass;
+}
+
+}  // namespace resacc

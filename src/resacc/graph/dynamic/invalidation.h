@@ -1,0 +1,45 @@
+#ifndef RESACC_GRAPH_DYNAMIC_INVALIDATION_H_
+#define RESACC_GRAPH_DYNAMIC_INVALIDATION_H_
+
+#include <vector>
+
+#include "resacc/graph/dynamic/mutable_graph_view.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// Guarantee-preserving cache invalidation for live graphs.
+//
+// A cached vector pi(s, .) was computed at an older epoch. A mutation
+// batch rewrote the out-rows of delta.dirty_out — i.e. the corresponding
+// rows of the transition matrix P. Writing the perturbed matrix P' = P +
+// E, the RWR solution pi' = alpha * e_s * (I - (1-alpha) P')^-1 satisfies
+//
+//   || pi' - pi ||_1 <= (1 - alpha) / alpha * || pi_rows(E) ||_1
+//                    <= (1 - alpha) / alpha * 2 * sum_{u dirty} pi(s, u)
+//
+// because row u of E has L1 mass at most 2 (a row of P changed to another
+// row of P), weighted by how much stationary mass pi(s, u) the cached
+// walk puts on u. MutationInfluence returns that bound (without the
+// factor 2 sharpened away: we keep it, staying conservative):
+//
+//   influence = 2 * (1 - alpha) / alpha * sum_{u in dirty_out} scores[u]
+//
+// An entry whose *cumulative* influence since it was computed stays under
+// the caller's drift budget (ResultCache::InvalidateEpoch accumulates it
+// per entry, in the spirit of the offset-maintenance argument of arXiv
+// 1712.00595) still satisfies a slackened epsilon-delta guarantee and may
+// be promoted to the new epoch instead of dropped. Entries touching real
+// mass get dropped; entries whose walks never reach the mutated rows
+// survive churn — that asymmetry is the whole point (BENCH_dynamic.json
+// measures it against a flush-everything baseline).
+//
+// Returns +infinity when the delta added nodes (score vectors change
+// length; no repair possible) or a dirty node is outside the cached
+// vector (same situation observed from the entry's side).
+double MutationInfluence(const GraphDelta& delta, double alpha,
+                         const std::vector<Score>& scores);
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_DYNAMIC_INVALIDATION_H_

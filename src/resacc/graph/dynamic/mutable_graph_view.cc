@@ -1,0 +1,368 @@
+#include "resacc/graph/dynamic/mutable_graph_view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "resacc/graph/graph_snapshot.h"
+#include "resacc/util/timer.h"
+
+namespace resacc {
+namespace {
+
+std::size_t BitWords(NodeId num_nodes) {
+  return (static_cast<std::size_t>(num_nodes) + 63) / 64;
+}
+
+std::shared_ptr<const DeltaOverlay> EmptyOverlay(const Graph& base) {
+  auto overlay = std::make_shared<DeltaOverlay>();
+  overlay->base_num_nodes = base.num_nodes();
+  overlay->num_nodes = base.num_nodes();
+  overlay->num_edges = base.num_edges();
+  overlay->out_dirty.assign(BitWords(base.num_nodes()), 0);
+  overlay->in_dirty.assign(BitWords(base.num_nodes()), 0);
+  return overlay;
+}
+
+void GrowBitmaps(DeltaOverlay& overlay, NodeId num_nodes) {
+  const std::size_t words = BitWords(num_nodes);
+  if (overlay.out_dirty.size() < words) overlay.out_dirty.resize(words, 0);
+  if (overlay.in_dirty.size() < words) overlay.in_dirty.resize(words, 0);
+}
+
+const DeltaOverlay::Row& SharedEmptyRow() {
+  static const DeltaOverlay::Row row =
+      std::make_shared<const std::vector<NodeId>>();
+  return row;
+}
+
+}  // namespace
+
+// The unit of atomic publication: Snapshot() pins one of these, so a
+// reader's base and overlay always belong to the same version.
+struct MutableGraphView::Shared {
+  std::shared_ptr<const Graph> base;  // flat: never carries an overlay
+  std::shared_ptr<const DeltaOverlay> overlay;
+};
+
+MutableGraphView::MutableGraphView(Graph base, MutableGraphOptions options)
+    : options_(std::move(options)), generation_(options_.initial_generation) {
+  // A base that is itself an overlay snapshot is folded flat first, so the
+  // view never stacks overlays.
+  auto flat = base.has_overlay()
+                  ? std::make_shared<const Graph>(base)  // copy materializes
+                  : std::make_shared<const Graph>(std::move(base));
+  auto shared = std::make_shared<Shared>();
+  shared->overlay = EmptyOverlay(*flat);
+  shared->base = std::move(flat);
+  current_ = std::move(shared);
+  if (options_.compact_threshold_rows > 0) {
+    compactor_ = std::thread([this] { CompactorLoop(); });
+  }
+}
+
+MutableGraphView::~MutableGraphView() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutting_down_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+std::shared_ptr<const MutableGraphView::Shared> MutableGraphView::Current()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+Graph MutableGraphView::Snapshot() const {
+  std::shared_ptr<const Shared> pinned = Current();
+  // The aliasing handle keeps the whole Shared (base + overlay) alive for
+  // the snapshot's lifetime.
+  std::shared_ptr<const void> keep_alive(pinned, pinned.get());
+  if (pinned->overlay->empty()) {
+    // No dirty rows implies no new nodes either (tail nodes are always
+    // dirty), so the base alone is the merged graph.
+    return pinned->base->ShallowView(std::move(keep_alive));
+  }
+  return Graph(*pinned->base, pinned->overlay, std::move(keep_alive));
+}
+
+std::uint64_t MutableGraphView::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::uint64_t MutableGraphView::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+MutableGraphStats MutableGraphView::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MutableGraphStats stats = lifetime_;
+  stats.epoch = epoch_;
+  stats.generation = generation_;
+  stats.overlay_rows = current_->overlay->dirty_rows();
+  stats.overlay_bytes = current_->overlay->MemoryBytes();
+  return stats;
+}
+
+Status MutableGraphView::AddEdge(NodeId from, NodeId to, GraphDelta* delta) {
+  const EdgeMutation mutation{from, to, /*remove=*/false};
+  return ApplyBatch({&mutation, 1}, delta);
+}
+
+Status MutableGraphView::RemoveEdge(NodeId from, NodeId to,
+                                    GraphDelta* delta) {
+  const EdgeMutation mutation{from, to, /*remove=*/true};
+  return ApplyBatch({&mutation, 1}, delta);
+}
+
+NodeId MutableGraphView::AddNode(GraphDelta* delta) {
+  NodeId id = 0;
+  std::size_t overlay_rows = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<DeltaOverlay>(*current_->overlay);
+    id = next->num_nodes++;
+    GrowBitmaps(*next, next->num_nodes);
+    // Tail nodes are dirty in both directions by construction: a clean
+    // bit must always mean "covered by the base spans".
+    DeltaOverlay::SetBit(next->out_dirty, id);
+    DeltaOverlay::SetBit(next->in_dirty, id);
+    next->out_rows.emplace(id, SharedEmptyRow());
+    next->in_rows.emplace(id, SharedEmptyRow());
+    overlay_rows = next->dirty_rows();
+    current_ = std::make_shared<Shared>(
+        Shared{current_->base, std::move(next)});
+    ++epoch_;
+    ++lifetime_.nodes_added;
+    if (delta != nullptr) {
+      *delta = GraphDelta{};
+      delta->epoch = epoch_;
+      delta->nodes_added = true;
+    }
+  }
+  MaybeWakeCompactor(overlay_rows);
+  return id;
+}
+
+Status MutableGraphView::ApplyBatch(std::span<const EdgeMutation> batch,
+                                    GraphDelta* delta, std::size_t* skipped) {
+  Status status;
+  std::size_t overlay_rows = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status = ApplyBatchLocked(batch, delta, skipped);
+    overlay_rows = current_->overlay->dirty_rows();
+  }
+  MaybeWakeCompactor(overlay_rows);
+  return status;
+}
+
+Status MutableGraphView::ApplyBatchLocked(std::span<const EdgeMutation> batch,
+                                          GraphDelta* delta,
+                                          std::size_t* skipped) {
+  const Graph& base = *current_->base;
+  const NodeId base_n = base.num_nodes();
+  auto next = std::make_shared<DeltaOverlay>(*current_->overlay);
+
+  // Rows cloned by THIS batch: mutable in place until publication. The
+  // clone pointer is also stored in next's maps immediately, so the span
+  // lookup below sees in-batch mutations.
+  std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>> out_clones;
+  std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>> in_clones;
+
+  const auto out_span = [&](NodeId u) -> std::span<const NodeId> {
+    if (DeltaOverlay::TestBit(next->out_dirty, u)) return *next->out_rows.at(u);
+    return base.OutNeighbors(u);  // u < base_n: tail nodes are always dirty
+  };
+  const auto clone_row =
+      [](std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>>&
+             clones,
+         std::unordered_map<NodeId, DeltaOverlay::Row>& rows,
+         std::vector<std::uint64_t>& dirty, NodeId u,
+         std::span<const NodeId> current_row) -> std::vector<NodeId>& {
+    auto it = clones.find(u);
+    if (it != clones.end()) return *it->second;
+    auto row = std::make_shared<std::vector<NodeId>>(current_row.begin(),
+                                                     current_row.end());
+    DeltaOverlay::SetBit(dirty, u);
+    rows[u] = row;
+    return *clones.emplace(u, std::move(row)).first->second;
+  };
+  const auto mutable_out = [&](NodeId u) -> std::vector<NodeId>& {
+    const std::span<const NodeId> row =
+        DeltaOverlay::TestBit(next->out_dirty, u)
+            ? std::span<const NodeId>(*next->out_rows.at(u))
+            : base.OutNeighbors(u);
+    return clone_row(out_clones, next->out_rows, next->out_dirty, u, row);
+  };
+  const auto mutable_in = [&](NodeId u) -> std::vector<NodeId>& {
+    const std::span<const NodeId> row =
+        DeltaOverlay::TestBit(next->in_dirty, u)
+            ? std::span<const NodeId>(*next->in_rows.at(u))
+            : base.InNeighbors(u);
+    return clone_row(in_clones, next->in_rows, next->in_dirty, u, row);
+  };
+
+  Status first_error;
+  std::size_t applied = 0;
+  std::size_t rejected = 0;
+  std::uint64_t added = 0;
+  std::uint64_t removed = 0;
+  std::vector<NodeId> dirty_out;
+
+  for (const EdgeMutation& mutation : batch) {
+    Status status;
+    const NodeId u = mutation.from;
+    const NodeId v = mutation.to;
+    if (u >= next->num_nodes || v >= next->num_nodes) {
+      status = Status::InvalidArgument("edge endpoint out of range");
+    } else if (u == v) {
+      status = Status::InvalidArgument(
+          "self loops are not representable (paper assumption, II-A)");
+    } else {
+      const auto row = out_span(u);
+      const bool present = std::binary_search(row.begin(), row.end(), v);
+      if (!mutation.remove && present) {
+        status = Status::AlreadyExists("edge already present");
+      } else if (mutation.remove && !present) {
+        status = Status::NotFound("edge not present");
+      }
+    }
+    if (!status.ok()) {
+      if (first_error.ok()) first_error = status;
+      ++rejected;
+      continue;
+    }
+
+    std::vector<NodeId>& out_row = mutable_out(u);
+    std::vector<NodeId>& in_row = mutable_in(v);
+    if (mutation.remove) {
+      out_row.erase(std::lower_bound(out_row.begin(), out_row.end(), v));
+      in_row.erase(std::lower_bound(in_row.begin(), in_row.end(), u));
+      --next->num_edges;
+      ++removed;
+    } else {
+      out_row.insert(std::lower_bound(out_row.begin(), out_row.end(), v), v);
+      in_row.insert(std::lower_bound(in_row.begin(), in_row.end(), u), u);
+      ++next->num_edges;
+      ++added;
+    }
+    dirty_out.push_back(u);
+    ++applied;
+  }
+
+  if (skipped != nullptr) *skipped = rejected;
+  if (applied == 0) {
+    if (delta != nullptr) *delta = GraphDelta{};
+    // Nothing changed: keep the current version (no epoch bump, no
+    // invalidation work downstream).
+    return rejected > 0 ? first_error : Status::Ok();
+  }
+
+  std::sort(dirty_out.begin(), dirty_out.end());
+  dirty_out.erase(std::unique(dirty_out.begin(), dirty_out.end()),
+                  dirty_out.end());
+
+  current_ = std::make_shared<Shared>(Shared{current_->base, std::move(next)});
+  ++epoch_;
+  lifetime_.edges_added += added;
+  lifetime_.edges_removed += removed;
+  if (delta != nullptr) {
+    *delta = GraphDelta{};
+    delta->epoch = epoch_;
+    delta->dirty_out = std::move(dirty_out);
+    delta->edges_added = added;
+    delta->edges_removed = removed;
+  }
+  (void)base_n;
+  return Status::Ok();
+}
+
+void MutableGraphView::MaybeWakeCompactor(std::size_t overlay_rows) {
+  if (options_.compact_threshold_rows == 0 ||
+      overlay_rows < options_.compact_threshold_rows) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    compact_requested_ = true;
+  }
+  compact_cv_.notify_one();
+}
+
+void MutableGraphView::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    compact_cv_.wait(lock,
+                     [this] { return compact_requested_ || shutting_down_; });
+    if (shutting_down_) return;
+    compact_requested_ = false;
+    lock.unlock();
+    Compact();
+    lock.lock();
+  }
+}
+
+CompactionInfo MutableGraphView::Compact() {
+  Timer timer;
+  CompactionInfo info;
+
+  std::shared_ptr<const Shared> pinned;
+  std::uint64_t pinned_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pinned = current_;
+    pinned_epoch = epoch_;
+    info.generation = generation_;
+    info.epoch = epoch_;
+  }
+  if (pinned->overlay->empty()) {
+    info.seconds = timer.ElapsedSeconds();
+    return info;  // nothing to fold
+  }
+  info.folded_rows = pinned->overlay->dirty_rows();
+
+  // The O(n + m) fold runs without the lock: materialize the pinned
+  // epoch's merged CSR into a fresh owned graph.
+  const Graph merged(*pinned->base, pinned->overlay,
+                     std::shared_ptr<const void>(pinned, pinned.get()));
+  auto folded = std::make_shared<const Graph>(merged);  // copy materializes
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    info.generation = ++generation_;
+    ++lifetime_.compactions;
+    std::shared_ptr<const DeltaOverlay> rebased;
+    if (epoch_ == pinned_epoch) {
+      rebased = EmptyOverlay(*folded);
+    } else {
+      // Mutations landed during the fold. Every currently-dirty row is
+      // content-complete (a full replacement row), so the whole live
+      // overlay remains valid over the new base: rows the fold already
+      // captured override it with identical content until the next
+      // compaction sweeps them up.
+      auto next = std::make_shared<DeltaOverlay>(*current_->overlay);
+      next->base_num_nodes = folded->num_nodes();
+      rebased = std::move(next);
+    }
+    current_ = std::make_shared<Shared>(Shared{folded, std::move(rebased)});
+  }
+
+  if (!options_.snapshot_path_prefix.empty()) {
+    info.snapshot_path = options_.snapshot_path_prefix + ".gen" +
+                         std::to_string(info.generation) + ".rsg";
+    info.snapshot_status =
+        SaveSnapshot(*folded, info.snapshot_path, info.generation);
+  }
+  info.seconds = timer.ElapsedSeconds();
+  if (compaction_callback_) compaction_callback_(info);
+  return info;
+}
+
+}  // namespace resacc

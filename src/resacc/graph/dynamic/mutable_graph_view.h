@@ -1,0 +1,182 @@
+#ifndef RESACC_GRAPH_DYNAMIC_MUTABLE_GRAPH_VIEW_H_
+#define RESACC_GRAPH_DYNAMIC_MUTABLE_GRAPH_VIEW_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resacc/graph/dynamic/delta_overlay.h"
+#include "resacc/graph/graph.h"
+#include "resacc/util/status.h"
+#include "resacc/util/types.h"
+
+namespace resacc {
+
+// One edge mutation in a batch. `remove` distinguishes RemoveEdge from
+// AddEdge.
+struct EdgeMutation {
+  NodeId from = 0;
+  NodeId to = 0;
+  bool remove = false;
+};
+
+// What one published mutation batch changed — the serve layer's input for
+// guarantee-preserving cache invalidation (dynamic/invalidation.h).
+struct GraphDelta {
+  // Epoch the graph reached by applying the batch.
+  std::uint64_t epoch = 0;
+  // Nodes whose *out*-row changed: exactly the rewritten rows of the
+  // transition matrix, which is what perturbs RWR scores. Deduplicated.
+  std::vector<NodeId> dirty_out;
+  // Any AddNode in the batch (score vectors change length; cached entries
+  // for older epochs cannot be repaired and must be dropped).
+  bool nodes_added = false;
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_removed = 0;
+
+  bool empty() const {
+    return dirty_out.empty() && !nodes_added && edges_added == 0 &&
+           edges_removed == 0;
+  }
+};
+
+struct MutableGraphOptions {
+  // Fold the overlay into a fresh base once it carries at least this many
+  // dirty rows, on the background compaction thread. 0 disables automatic
+  // compaction (Compact() still works on demand).
+  std::size_t compact_threshold_rows = 0;
+  // When non-empty, every compaction also persists the folded base as
+  // `<prefix>.gen<G>.rsg` with generation G stamped in the snapshot
+  // header (graph_snapshot.h). Failures to write are reported in
+  // CompactionInfo but never block the in-memory swap.
+  std::string snapshot_path_prefix;
+  // Generation of the initial base (e.g. from SnapshotLoadInfo when the
+  // base came from a .rsg file); compactions count up from here.
+  std::uint64_t initial_generation = 0;
+};
+
+struct CompactionInfo {
+  std::uint64_t generation = 0;  // generation of the new base
+  std::uint64_t epoch = 0;       // epoch the folded base captures
+  std::size_t folded_rows = 0;   // overlay rows folded into the base
+  double seconds = 0.0;
+  // Path of the persisted .rsg (empty when persistence is off) and the
+  // write outcome; the in-memory swap has already happened either way.
+  std::string snapshot_path;
+  Status snapshot_status;
+};
+
+struct MutableGraphStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t edges_added = 0;    // lifetime, across compactions
+  std::uint64_t edges_removed = 0;
+  std::uint64_t nodes_added = 0;
+  std::uint64_t compactions = 0;
+  std::size_t overlay_rows = 0;     // dirty rows in the live overlay
+  std::size_t overlay_bytes = 0;
+};
+
+// A live graph: an immutable base CSR (owned or mmap-borrowed) plus a
+// row-granular DeltaOverlay, behind a thread-safe mutation API.
+//
+// Concurrency model (DESIGN.md "Dynamic graphs"):
+//   * Mutations (AddEdge/RemoveEdge/AddNode/ApplyBatch) serialize on an
+//     internal mutex. Each successful batch publishes a new immutable
+//     overlay version and bumps the epoch.
+//   * Readers call Snapshot() to pin an epoch: the returned Graph is an
+//     immutable, self-contained view (it keeps the base and its overlay
+//     version alive) that later mutations and compactions never touch, so
+//     an in-flight query always sees one consistent graph.
+//   * Compaction folds base + overlay into a fresh owned CSR, bumps the
+//     generation, atomically swaps the base, and rebases the overlay
+//     (which is empty unless mutations landed during the fold). Readers
+//     swap over on their next Snapshot(); pinned epochs stay valid.
+//
+// Equivalence contract: a Snapshot() is *bit-identical*, row by row, to a
+// GraphBuilder build of the same edge set — rows stay sorted ascending
+// and deduplicated, self loops are rejected — so every solver produces
+// bit-identical scores on the live view and on a fresh load (enforced by
+// dynamic_graph_test and the conformance suite).
+class MutableGraphView {
+ public:
+  explicit MutableGraphView(Graph base, MutableGraphOptions options = {});
+  ~MutableGraphView();
+
+  MutableGraphView(const MutableGraphView&) = delete;
+  MutableGraphView& operator=(const MutableGraphView&) = delete;
+
+  // Single-edge mutations: one published epoch each. kInvalidArgument for
+  // out-of-range endpoints or a self loop, kAlreadyExists for a duplicate
+  // AddEdge, kNotFound for removing a missing edge. `delta` (optional)
+  // receives what changed, for cache invalidation.
+  Status AddEdge(NodeId from, NodeId to, GraphDelta* delta = nullptr);
+  Status RemoveEdge(NodeId from, NodeId to, GraphDelta* delta = nullptr);
+
+  // Appends an isolated node and returns its id (ids are never reused).
+  NodeId AddNode(GraphDelta* delta = nullptr);
+
+  // Applies the whole batch as ONE epoch — one overlay version, one
+  // invalidation pass — which is the efficient shape for churn streams.
+  // Individual mutations that fail validation are skipped and counted in
+  // `skipped`; the rest apply. Returns non-OK only when nothing applied
+  // and at least one mutation failed.
+  Status ApplyBatch(std::span<const EdgeMutation> batch,
+                    GraphDelta* delta = nullptr,
+                    std::size_t* skipped = nullptr);
+
+  // Epoch-pinned immutable view; cheap (no CSR copy). See class comment.
+  Graph Snapshot() const;
+
+  std::uint64_t epoch() const;
+  std::uint64_t generation() const;
+  MutableGraphStats stats() const;
+
+  // Folds the current overlay into a fresh base now (see class comment)
+  // and returns what happened. Runs the O(n + m) fold on the calling
+  // thread without blocking mutations or readers; only the final swap
+  // takes the mutex.
+  CompactionInfo Compact();
+
+  // Invoked (on the mutating/compacting thread, outside the lock) after
+  // every compaction — the serve layer uses it to re-point workers at the
+  // folded base. Set once, before mutations start.
+  void set_compaction_callback(std::function<void(const CompactionInfo&)> cb) {
+    compaction_callback_ = std::move(cb);
+  }
+
+ private:
+  struct Shared;  // base + overlay pair published atomically
+
+  std::shared_ptr<const Shared> Current() const;
+  Status ApplyBatchLocked(std::span<const EdgeMutation> batch,
+                          GraphDelta* delta, std::size_t* skipped);
+  void MaybeWakeCompactor(std::size_t overlay_rows);
+  void CompactorLoop();
+
+  const MutableGraphOptions options_;
+  std::function<void(const CompactionInfo&)> compaction_callback_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Shared> current_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t generation_ = 0;
+  MutableGraphStats lifetime_;  // counters only; epoch/generation derived
+
+  // Background compaction (armed iff compact_threshold_rows > 0).
+  std::thread compactor_;
+  std::condition_variable compact_cv_;
+  bool compact_requested_ = false;
+  bool shutting_down_ = false;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_GRAPH_DYNAMIC_MUTABLE_GRAPH_VIEW_H_

@@ -3,11 +3,45 @@
 #include <algorithm>
 
 namespace resacc {
+namespace {
+
+// Merged CSR arrays of `graph` (base + overlay, or a plain copy), built
+// through the public accessors so the result is the graph algorithms see.
+struct MaterializedCsr {
+  std::vector<EdgeId> out_offsets;
+  std::vector<NodeId> out_targets;
+  std::vector<EdgeId> in_offsets;
+  std::vector<NodeId> in_sources;
+};
+
+MaterializedCsr Materialize(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  const std::size_t m = static_cast<std::size_t>(graph.num_edges());
+  MaterializedCsr csr;
+  csr.out_offsets.reserve(static_cast<std::size_t>(n) + 1);
+  csr.out_targets.reserve(m);
+  csr.in_offsets.reserve(static_cast<std::size_t>(n) + 1);
+  csr.in_sources.reserve(m);
+  csr.out_offsets.push_back(0);
+  csr.in_offsets.push_back(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto out = graph.OutNeighbors(u);
+    csr.out_targets.insert(csr.out_targets.end(), out.begin(), out.end());
+    csr.out_offsets.push_back(csr.out_targets.size());
+    const auto in = graph.InNeighbors(u);
+    csr.in_sources.insert(csr.in_sources.end(), in.begin(), in.end());
+    csr.in_offsets.push_back(csr.in_sources.size());
+  }
+  return csr;
+}
+
+}  // namespace
 
 Graph::Graph(NodeId num_nodes, std::vector<EdgeId> out_offsets,
              std::vector<NodeId> out_targets, std::vector<EdgeId> in_offsets,
              std::vector<NodeId> in_sources)
     : num_nodes_(num_nodes),
+      num_edges_(static_cast<EdgeId>(out_targets.size())),
       owned_out_offsets_(std::move(out_offsets)),
       owned_out_targets_(std::move(out_targets)),
       owned_in_offsets_(std::move(in_offsets)),
@@ -25,6 +59,7 @@ Graph::Graph(NodeId num_nodes, std::span<const EdgeId> out_offsets,
              std::span<const NodeId> in_sources,
              std::shared_ptr<const void> storage)
     : num_nodes_(num_nodes),
+      num_edges_(static_cast<EdgeId>(out_targets.size())),
       out_offsets_(out_offsets),
       out_targets_(out_targets),
       in_offsets_(in_offsets),
@@ -34,20 +69,49 @@ Graph::Graph(NodeId num_nodes, std::span<const EdgeId> out_offsets,
   CheckInvariants();
 }
 
+Graph::Graph(const Graph& base, std::shared_ptr<const DeltaOverlay> overlay,
+             std::shared_ptr<const void> keep_alive)
+    : num_nodes_(overlay->num_nodes),
+      num_edges_(overlay->num_edges),
+      out_offsets_(base.out_offsets_),
+      out_targets_(base.out_targets_),
+      in_offsets_(base.in_offsets_),
+      in_sources_(base.in_sources_),
+      storage_(std::move(keep_alive)),
+      overlay_(std::move(overlay)) {
+  // The base spans must describe exactly the graph the overlay was built
+  // over; stacking an overlay on an overlay graph is not supported (the
+  // MutableGraphView folds instead).
+  RESACC_CHECK(base.overlay_ == nullptr);
+  RESACC_CHECK(overlay_->base_num_nodes == base.num_nodes_);
+  RESACC_CHECK(overlay_->num_nodes >= overlay_->base_num_nodes);
+  RESACC_CHECK(storage_ != nullptr);
+}
+
 Graph::Graph(const Graph& other)
-    : Graph(other.num_nodes_,
-            std::vector<EdgeId>(other.out_offsets_.begin(),
-                                other.out_offsets_.end()),
-            std::vector<NodeId>(other.out_targets_.begin(),
-                                other.out_targets_.end()),
-            std::vector<EdgeId>(other.in_offsets_.begin(),
-                                other.in_offsets_.end()),
-            std::vector<NodeId>(other.in_sources_.begin(),
-                                other.in_sources_.end())) {}
+    : Graph([&other] {
+        MaterializedCsr csr = Materialize(other);
+        return Graph(other.num_nodes(), std::move(csr.out_offsets),
+                     std::move(csr.out_targets), std::move(csr.in_offsets),
+                     std::move(csr.in_sources));
+      }()) {}
 
 Graph& Graph::operator=(const Graph& other) {
   if (this != &other) *this = Graph(other);
   return *this;
+}
+
+Graph Graph::ShallowView(std::shared_ptr<const void> keep_alive) const {
+  Graph view;
+  view.num_nodes_ = num_nodes_;
+  view.num_edges_ = num_edges_;
+  view.out_offsets_ = out_offsets_;
+  view.out_targets_ = out_targets_;
+  view.in_offsets_ = in_offsets_;
+  view.in_sources_ = in_sources_;
+  view.storage_ = keep_alive != nullptr ? std::move(keep_alive) : storage_;
+  view.overlay_ = overlay_;
+  return view;
 }
 
 void Graph::CheckInvariants() const {
@@ -81,10 +145,12 @@ std::vector<NodeId> Graph::NodesByOutDegreeDesc() const {
 }
 
 std::size_t Graph::MemoryBytes() const {
-  return out_offsets_.size() * sizeof(EdgeId) +
-         out_targets_.size() * sizeof(NodeId) +
-         in_offsets_.size() * sizeof(EdgeId) +
-         in_sources_.size() * sizeof(NodeId);
+  std::size_t bytes = out_offsets_.size() * sizeof(EdgeId) +
+                      out_targets_.size() * sizeof(NodeId) +
+                      in_offsets_.size() * sizeof(EdgeId) +
+                      in_sources_.size() * sizeof(NodeId);
+  if (overlay_ != nullptr) bytes += overlay_->MemoryBytes();
+  return bytes;
 }
 
 }  // namespace resacc

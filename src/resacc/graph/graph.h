@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "resacc/graph/dynamic/delta_overlay.h"
 #include "resacc/util/check.h"
 #include "resacc/util/types.h"
 
@@ -26,6 +27,15 @@ namespace resacc {
 // GraphBuilder path — spans view its own vectors) or *borrows* them from an
 // opaque storage object it keeps alive (the zero-copy mmap snapshot path,
 // graph/graph_snapshot.h). Algorithms cannot tell the difference.
+//
+// Delta overlay (DESIGN.md "Dynamic graphs"): a graph may additionally
+// carry a DeltaOverlay — the epoch snapshots MutableGraphView hands out.
+// Accessors then serve a node's row from the overlay when it is dirty and
+// from the base spans otherwise, so algorithms iterate the *merged* graph
+// through the unchanged Graph interface: one predictable null check on
+// static graphs, one extra bit test on live ones. Overlay graphs still
+// never copy the base CSR; copying such a Graph (or SaveSnapshot-ing it)
+// materializes the merged CSR into owned arrays.
 //
 // Construct via GraphBuilder; Graph is movable and cheap to pass by const
 // reference. Copying materializes: the copy always owns its arrays.
@@ -47,8 +57,14 @@ class Graph {
         std::span<const NodeId> in_sources,
         std::shared_ptr<const void> storage);
 
-  // Copies deep-copy into owned arrays, even from a borrowing graph, so a
-  // copy never pins an mmap'd file.
+  // Overlay view: `base`'s spans merged with `overlay` (MutableGraphView's
+  // epoch snapshots). `keep_alive` must pin whatever owns the base spans
+  // (typically the base Graph itself); the overlay is pinned by the graph.
+  Graph(const Graph& base, std::shared_ptr<const DeltaOverlay> overlay,
+        std::shared_ptr<const void> keep_alive);
+
+  // Copies deep-copy into owned arrays — materializing any overlay — so a
+  // copy never pins an mmap'd file or an overlay version.
   Graph(const Graph& other);
   Graph& operator=(const Graph& other);
   // Moving a std::vector keeps its heap buffer, so member-wise moves leave
@@ -56,31 +72,55 @@ class Graph {
   Graph(Graph&&) noexcept = default;
   Graph& operator=(Graph&&) noexcept = default;
 
+  // A non-owning view of this graph: same spans and overlay, holding
+  // `keep_alive` (when given) instead of copying anything. Without a
+  // keep-alive the view inherits this graph's storage handle, so the view
+  // is self-contained for borrowing graphs but must not outlive an owning
+  // one — the same contract as passing `const Graph&`.
+  Graph ShallowView(std::shared_ptr<const void> keep_alive = nullptr) const;
+
   NodeId num_nodes() const { return num_nodes_; }
-  EdgeId num_edges() const {
-    return static_cast<EdgeId>(out_targets_.size());
-  }
+  EdgeId num_edges() const { return num_edges_; }
 
   // True when the CSR arrays live in an external storage object (e.g. a
   // mapped .rsg snapshot) rather than heap vectors owned by this graph.
   bool borrows_storage() const { return storage_ != nullptr; }
 
+  // True when this graph is a MutableGraphView epoch snapshot merging a
+  // delta overlay over the base spans.
+  bool has_overlay() const { return overlay_ != nullptr; }
+  const std::shared_ptr<const DeltaOverlay>& overlay() const {
+    return overlay_;
+  }
+
   NodeId OutDegree(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
+    if (overlay_ != nullptr && overlay_->OutDirty(u)) [[unlikely]] {
+      return static_cast<NodeId>(overlay_->OutRow(u).size());
+    }
     return static_cast<NodeId>(out_offsets_[u + 1] - out_offsets_[u]);
   }
   NodeId InDegree(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
+    if (overlay_ != nullptr && overlay_->InDirty(u)) [[unlikely]] {
+      return static_cast<NodeId>(overlay_->InRow(u).size());
+    }
     return static_cast<NodeId>(in_offsets_[u + 1] - in_offsets_[u]);
   }
 
   std::span<const NodeId> OutNeighbors(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
+    if (overlay_ != nullptr && overlay_->OutDirty(u)) [[unlikely]] {
+      return overlay_->OutRow(u);
+    }
     return out_targets_.subspan(out_offsets_[u],
                                 out_offsets_[u + 1] - out_offsets_[u]);
   }
   std::span<const NodeId> InNeighbors(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
+    if (overlay_ != nullptr && overlay_->InDirty(u)) [[unlikely]] {
+      return overlay_->InRow(u);
+    }
     return in_sources_.subspan(in_offsets_[u],
                                in_offsets_[u + 1] - in_offsets_[u]);
   }
@@ -88,15 +128,22 @@ class Graph {
   // The j-th out-neighbour of u; random walks index neighbours directly.
   NodeId OutNeighbor(NodeId u, NodeId j) const {
     RESACC_DCHECK(j < OutDegree(u));
+    if (overlay_ != nullptr && overlay_->OutDirty(u)) [[unlikely]] {
+      return overlay_->OutRow(u)[j];
+    }
     return out_targets_[out_offsets_[u] + j];
   }
 
   // Hints the hardware prefetcher at u's CSR out-row (the offset pair that
   // every degree lookup reads first). The walk engine issues this when it
-  // picks up a block, ahead of the first walk touching the row.
+  // picks up a block, ahead of the first walk touching the row. Overlay
+  // tail nodes have no base row; their rows are small heap vectors the
+  // prefetcher handles on its own.
   void PrefetchOutRow(NodeId u) const {
     RESACC_DCHECK(u < num_nodes_);
-    __builtin_prefetch(out_offsets_.data() + u, /*rw=*/0, /*locality=*/1);
+    if (static_cast<std::size_t>(u) + 1 < out_offsets_.size()) {
+      __builtin_prefetch(out_offsets_.data() + u, /*rw=*/0, /*locality=*/1);
+    }
   }
 
   bool HasEdge(NodeId u, NodeId v) const;
@@ -108,32 +155,53 @@ class Graph {
   std::vector<NodeId> NodesByOutDegreeDesc() const;
 
   // Approximate resident footprint of the CSR arrays (owned heap or mapped
-  // file bytes), reported as "graph size" in the Table IV reproduction.
+  // file bytes) plus any overlay rows, reported as "graph size" in the
+  // Table IV reproduction.
   std::size_t MemoryBytes() const;
 
   // Raw CSR sections in snapshot order; for storage/serialization code
   // (graph_snapshot.cc, format converters) — algorithms use the accessors.
-  std::span<const EdgeId> raw_out_offsets() const { return out_offsets_; }
-  std::span<const NodeId> raw_out_targets() const { return out_targets_; }
-  std::span<const EdgeId> raw_in_offsets() const { return in_offsets_; }
-  std::span<const NodeId> raw_in_sources() const { return in_sources_; }
+  // Not available on overlay graphs (the spans alone would misrepresent
+  // the merged graph): materialize first via the copy constructor.
+  std::span<const EdgeId> raw_out_offsets() const {
+    RESACC_CHECK(overlay_ == nullptr);
+    return out_offsets_;
+  }
+  std::span<const NodeId> raw_out_targets() const {
+    RESACC_CHECK(overlay_ == nullptr);
+    return out_targets_;
+  }
+  std::span<const EdgeId> raw_in_offsets() const {
+    RESACC_CHECK(overlay_ == nullptr);
+    return in_offsets_;
+  }
+  std::span<const NodeId> raw_in_sources() const {
+    RESACC_CHECK(overlay_ == nullptr);
+    return in_sources_;
+  }
 
  private:
   void CheckInvariants() const;
 
   NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
   // Owned backing arrays; empty when the graph borrows from storage_.
   std::vector<EdgeId> owned_out_offsets_;
   std::vector<NodeId> owned_out_targets_;
   std::vector<EdgeId> owned_in_offsets_;
   std::vector<NodeId> owned_in_sources_;
   // The views every accessor reads: into the owned vectors or storage_.
-  std::span<const EdgeId> out_offsets_;  // size num_nodes_ + 1
-  std::span<const NodeId> out_targets_;  // size num_edges
-  std::span<const EdgeId> in_offsets_;   // size num_nodes_ + 1
-  std::span<const NodeId> in_sources_;   // size num_edges
+  // With an overlay these cover the *base* graph only (num_nodes may
+  // exceed their range); the overlay's dirty bits gate every access.
+  std::span<const EdgeId> out_offsets_;  // size base num_nodes + 1
+  std::span<const NodeId> out_targets_;  // size base num_edges
+  std::span<const EdgeId> in_offsets_;   // size base num_nodes + 1
+  std::span<const NodeId> in_sources_;   // size base num_edges
   // Keep-alive for borrowed storage (unmaps/frees on last release).
   std::shared_ptr<const void> storage_;
+  // Delta overlay for MutableGraphView epoch snapshots; null on static
+  // graphs, so the hot-path cost there is one predictable branch.
+  std::shared_ptr<const DeltaOverlay> overlay_;
 };
 
 }  // namespace resacc

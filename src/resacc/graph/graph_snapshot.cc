@@ -48,11 +48,17 @@ struct SnapshotHeader {
   std::uint64_t section_offset[kNumSections];  // bytes from file start
   std::uint64_t section_bytes[kNumSections];
   std::uint64_t section_checksum;  // FNV-1a chained over sections 0..3
-  std::uint64_t reserved1;
+  std::uint64_t generation;  // compaction generation (was reserved; old = 0)
   std::uint64_t header_checksum;  // FNV-1a over bytes [0, 120)
 };
 static_assert(sizeof(SnapshotHeader) == kHeaderBytes);
 static_assert(offsetof(SnapshotHeader, header_checksum) == 120);
+
+// "RESACC02" -> 2. The magic doubles as the format version.
+std::uint32_t FormatVersion(const SnapshotHeader& header) {
+  return static_cast<std::uint32_t>(header.magic[6] - '0') * 10 +
+         static_cast<std::uint32_t>(header.magic[7] - '0');
+}
 
 std::uint64_t AlignUp(std::uint64_t value, std::uint64_t align) {
   return (value + align - 1) / align * align;
@@ -227,6 +233,8 @@ StatusOr<Graph> LoadSnapshotMmap(const std::string& path,
   if (info != nullptr) {
     info->mmap_used = true;
     info->file_bytes = file_bytes;
+    info->format_version = FormatVersion(header);
+    info->generation = header.generation;
   }
   return Graph(static_cast<NodeId>(n), out_offsets, out_targets, in_offsets,
                in_sources,
@@ -295,6 +303,8 @@ StatusOr<Graph> LoadSnapshotBuffered(const std::string& path,
   if (info != nullptr) {
     info->mmap_used = false;
     info->file_bytes = file_bytes;
+    info->format_version = FormatVersion(header);
+    info->generation = header.generation;
   }
   return Graph(static_cast<NodeId>(n), std::move(out_offsets),
                std::move(out_targets), std::move(in_offsets),
@@ -303,12 +313,20 @@ StatusOr<Graph> LoadSnapshotBuffered(const std::string& path,
 
 }  // namespace
 
-Status SaveSnapshot(const Graph& graph, const std::string& path) {
+Status SaveSnapshot(const Graph& graph, const std::string& path,
+                    std::uint64_t generation) {
+  if (graph.has_overlay()) {
+    // raw_*() spans describe only the base CSR; fold the overlay in first
+    // so the snapshot carries the merged edge set.
+    const Graph flat(graph);  // copy materializes
+    return SaveSnapshot(flat, path, generation);
+  }
   SnapshotHeader header = {};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.endian_tag = kEndianTag;
   header.header_bytes = kHeaderBytes;
   header.section_align = kSectionAlign;
+  header.generation = generation;
   SectionView views[kNumSections];
   LayOutSections(graph, header, views);
   std::uint64_t checksum = SnapshotChecksum(nullptr, 0);

@@ -32,11 +32,20 @@ struct SnapshotLoadOptions {
 struct SnapshotLoadInfo {
   bool mmap_used = false;
   std::uint64_t file_bytes = 0;
+  // Format version parsed from the magic ("RESACC02" -> 2).
+  std::uint32_t format_version = 0;
+  // Generation stamped at save time (dynamic graphs: bumped per
+  // compaction). Snapshots written before the field existed read as 0.
+  std::uint64_t generation = 0;
 };
 
 // Writes the graph as a RESACC02 snapshot. O(m) once; every later load is
-// O(header).
-Status SaveSnapshot(const Graph& graph, const std::string& path);
+// O(header). `generation` is stamped into the header (see
+// SnapshotLoadInfo); compaction of a live graph writes its new base with
+// the bumped generation. A graph carrying a delta overlay is materialized
+// into a flat CSR first, so the snapshot is always the merged edge set.
+Status SaveSnapshot(const Graph& graph, const std::string& path,
+                    std::uint64_t generation = 0);
 
 // Loads a RESACC02 snapshot. Validates magic, endianness tag, header
 // checksum, section bounds/sizes, and the cheap CSR structural anchors

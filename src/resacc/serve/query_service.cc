@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "resacc/graph/dynamic/invalidation.h"
 #include "resacc/util/check.h"
 #include "resacc/util/fault_injection.h"
 #include "resacc/util/top_k.h"
@@ -26,11 +27,16 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 QueryService::QueryService(const Graph& graph, const RwrConfig& config,
                            const ServeOptions& options)
-    : graph_(graph),
-      config_(config),
+    : config_(config),
       options_(options),
       config_hash_(HashQueryConfig(config, options.solver) ^
                    options.cache_tag),
+      // The initial state is a shallow view: the caller's graph must stay
+      // alive while the service runs (the same contract the old const
+      // Graph& member had). UpdateGraph replaces it with self-contained
+      // snapshots.
+      graph_state_(
+          std::make_shared<const GraphState>(graph.ShallowView(), 0)),
       queue_(std::max<std::size_t>(options.queue_capacity, 1)),
       cache_(options.cache_bytes,
              std::max<std::size_t>(options.cache_shards, 1)),
@@ -69,6 +75,13 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
           options_.metrics_prefix + "_stale_served_total", "",
           "Stale cache entries served because the queue was past the "
           "overload high-water mark.")),
+      invalidated_(registry_.GetCounter(
+          options_.metrics_prefix + "_invalidated_total", "",
+          "Cache entries dropped by graph-mutation epoch transitions.")),
+      cache_kept_(registry_.GetCounter(
+          options_.metrics_prefix + "_cache_kept_total", "",
+          "Cache entries promoted across a graph-mutation epoch "
+          "transition (influence bound within the drift budget).")),
       latency_(registry_.GetHistogram(
           options_.metrics_prefix + "_latency_seconds", "",
           "Submit-to-completion latency of OK responses.")),
@@ -115,22 +128,88 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
   add_callback(MetricKind::kGauge, prefix + "_uptime_seconds",
                "Seconds since service construction.",
                [this] { return uptime_.ElapsedSeconds(); });
+  add_callback(MetricKind::kGauge, prefix + "_graph_epoch",
+               "Content epoch of the graph version being served.",
+               [this] { return static_cast<double>(graph_epoch()); });
 
   const std::size_t workers = options.num_workers > 0
                                   ? options.num_workers
                                   : ThreadPool::DefaultThreads();
   solvers_.reserve(workers);
+  worker_states_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    solvers_.push_back(options_.solver_factory
-                           ? options_.solver_factory()
-                           : std::make_unique<ResAccSolver>(
-                                 graph_, config_, options_.solver));
+    solvers_.push_back(MakeSolver(*graph_state_));
     RESACC_CHECK(solvers_.back() != nullptr);
+    worker_states_.push_back(graph_state_);
   }
   pool_ = std::make_unique<ThreadPool>(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     pool_->Submit([this, i] { WorkerLoop(i); });
   }
+}
+
+std::unique_ptr<SsrwrAlgorithm> QueryService::MakeSolver(
+    const GraphState& state) const {
+  if (options_.solver_factory) return options_.solver_factory(state.graph);
+  return std::make_unique<ResAccSolver>(state.graph, config_,
+                                        options_.solver);
+}
+
+std::shared_ptr<const QueryService::GraphState> QueryService::CurrentState()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_state_;
+}
+
+Graph QueryService::graph() const {
+  std::shared_ptr<const GraphState> state = CurrentState();
+  return state->graph.ShallowView(
+      std::shared_ptr<const void>(state, &state->graph));
+}
+
+std::uint64_t QueryService::graph_epoch() const {
+  return CurrentState()->epoch;
+}
+
+void QueryService::UpdateGraph(Graph snapshot, const GraphDelta& delta) {
+  std::uint64_t old_epoch = 0;
+  std::uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    old_epoch = graph_state_->epoch;
+    // A compaction swap (empty delta) changes the physical base but not
+    // the content: keep the epoch so cached entries stay addressable.
+    new_epoch = delta.empty() ? old_epoch : delta.epoch;
+    graph_state_ =
+        std::make_shared<const GraphState>(std::move(snapshot), new_epoch);
+  }
+  if (new_epoch == old_epoch) return;
+
+  const bool flush =
+      options_.invalidation == ServeOptions::InvalidationMode::kFlushAll ||
+      delta.nodes_added;
+  ResultCache::InvalidationStats stats;
+  if (flush) {
+    stats = cache_.InvalidateEpoch(config_hash_, old_epoch, new_epoch,
+                                   /*drift_budget=*/0.0, nullptr,
+                                   /*flush_all=*/true);
+  } else {
+    // The budget keeps every promoted entry's score error under
+    // slack * epsilon * delta — scores above the paper's delta threshold
+    // still meet a (1 + slack) * epsilon relative bound.
+    const double budget =
+        options_.invalidation_slack * config_.epsilon * config_.delta;
+    GraphDelta batch;
+    batch.dirty_out = delta.dirty_out;
+    const double alpha = config_.alpha;
+    stats = cache_.InvalidateEpoch(
+        config_hash_, old_epoch, new_epoch, budget,
+        [&batch, alpha](const std::vector<Score>& scores) {
+          return MutationInfluence(batch, alpha, scores);
+        });
+  }
+  invalidated_.Increment(stats.dropped);
+  cache_kept_.Increment(stats.promoted);
 }
 
 QueryService::~QueryService() {
@@ -190,13 +269,16 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
     response.status = Status::FailedPrecondition("QueryService is stopped");
     return ReadyResponse(std::move(response));
   }
-  if (request.source >= graph_.num_nodes()) {
+  const std::shared_ptr<const GraphState> state = CurrentState();
+  if (request.source >= state->graph.num_nodes()) {
     QueryResponse response;
     response.status = Status::InvalidArgument("source out of range");
     return ReadyResponse(std::move(response));
   }
 
-  const CacheKey key{config_hash_, request.source};
+  // The lookup is pinned to the current content epoch: after a mutation
+  // batch, entries not promoted by UpdateGraph are unreachable here.
+  const CacheKey key{config_hash_, request.source, state->epoch};
   const ResultCache::AgedValue hit = cache_.LookupWithAge(key);
   if (hit.value != nullptr) {
     const bool fresh = options_.cache_ttl_seconds <= 0.0 ||
@@ -253,14 +335,26 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   if (options_.coalesce) {
     auto it = inflight_.find(request.source);
     if (it != inflight_.end()) {
-      waiter.coalesced = true;
-      if (waiter.request_id != 0) {
-        by_request_id_[waiter.request_id] = it->second;
+      // Coalescing is epoch-checked: a job still queued (kEpochUnset)
+      // will compute against the newest state at dequeue, and a job
+      // computing at the current epoch answers this request exactly. A
+      // job pinned to an older epoch must not absorb a post-mutation
+      // request — fall through and schedule a fresh computation, which
+      // replaces the in-flight entry below (FinalizeJob's identity check
+      // keeps the old job from erasing it).
+      const std::uint64_t compute_epoch =
+          it->second->compute_epoch.load(std::memory_order_acquire);
+      if (compute_epoch == Job::kEpochUnset ||
+          compute_epoch == graph_state_->epoch) {
+        waiter.coalesced = true;
+        if (waiter.request_id != 0) {
+          by_request_id_[waiter.request_id] = it->second;
+        }
+        it->second->waiters.push_back(std::move(waiter));
+        submitted_.Increment();
+        coalesced_.Increment();
+        return future;
       }
-      it->second->waiters.push_back(std::move(waiter));
-      submitted_.Increment();
-      coalesced_.Increment();
-      return future;
     }
   }
 
@@ -335,10 +429,24 @@ bool QueryService::Cancel(std::uint64_t request_id) {
 }
 
 void QueryService::WorkerLoop(std::size_t worker_index) {
-  SsrwrAlgorithm& solver = *solvers_[worker_index];
   std::shared_ptr<Job> job;
   while (queue_.Pop(job)) {
+    // Catch up with graph updates: rebuild this worker's solver when a
+    // newer state was published. State identity (not epoch) is compared,
+    // so a compaction swap also re-points the solver at the folded base.
+    std::shared_ptr<const GraphState> state = CurrentState();
+    if (state != worker_states_[worker_index]) {
+      solvers_[worker_index] = MakeSolver(*state);
+      worker_states_[worker_index] = std::move(state);
+    }
+    // Publish which epoch this job now computes against: from here on,
+    // Submit must not coalesce a post-mutation request onto it (the
+    // pinned state predates the mutation). Stamped before the hook so a
+    // hook that parks the worker models a mid-compute stall faithfully.
+    job->compute_epoch.store(worker_states_[worker_index]->epoch,
+                             std::memory_order_release);
     if (options_.dequeue_hook) options_.dequeue_hook(job->source);
+    SsrwrAlgorithm& solver = *solvers_[worker_index];
     // Chaos site: a worker pausing between dequeue and compute (GC-style
     // hiccup). Must only add latency, never change any answer.
     if (RESACC_FAULT("serve.worker_stall")) {
@@ -378,7 +486,12 @@ void QueryService::WorkerLoop(std::size_t worker_index) {
     // weaker answers to future requests that never opted in (and break
     // the bit-identity-with-a-fresh-solver contract).
     if (result.status.ok() && !result.degraded) {
-      cache_.Insert(CacheKey{config_hash_, job->source}, completion.scores);
+      // Inserted under the epoch the solver computed against. If the
+      // graph moved on mid-compute, that is an old epoch current lookups
+      // no longer use — the entry is stranded, never stale-served.
+      cache_.Insert(CacheKey{config_hash_, job->source,
+                             worker_states_[worker_index]->epoch},
+                    completion.scores);
     }
     FinalizeJob(job, completion);
   }

@@ -17,6 +17,7 @@
 #include "resacc/obs/metrics_registry.h"
 #include "resacc/core/rwr_config.h"
 #include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/graph/dynamic/mutable_graph_view.h"
 #include "resacc/graph/graph.h"
 #include "resacc/serve/result_cache.h"
 #include "resacc/serve/server_stats.h"
@@ -75,12 +76,30 @@ struct ServeOptions {
   // Solver knobs shared by every worker.
   ResAccOptions solver;
 
-  // Optional solver factory for serving a non-ResAcc backend. Every
-  // instance must be deterministic per source and configured identically,
-  // or caching/coalescing would conflate different answers; set cache_tag
-  // to a value identifying the backend + its configuration.
-  std::function<std::unique_ptr<SsrwrAlgorithm>()> solver_factory;
+  // Optional solver factory for serving a non-ResAcc backend. Invoked
+  // with the graph snapshot the solver must answer against — again after
+  // every UpdateGraph, since workers rebuild their solver when the graph
+  // changes. Every instance must be deterministic per source and
+  // configured identically, or caching/coalescing would conflate
+  // different answers; set cache_tag to a value identifying the backend +
+  // its configuration.
+  std::function<std::unique_ptr<SsrwrAlgorithm>(const Graph&)> solver_factory;
   std::uint64_t cache_tag = 0;
+
+  // Cache policy applied by UpdateGraph when the graph content changes.
+  //   kTargeted: per-entry influence bound (dynamic/invalidation.h) —
+  //     entries whose cached walk mass never touches the mutated rows are
+  //     promoted to the new epoch; the rest are dropped.
+  //   kFlushAll: drop every entry of the old epoch (the baseline
+  //     bench_micro's dynamic section compares against).
+  enum class InvalidationMode { kTargeted, kFlushAll };
+  InvalidationMode invalidation = InvalidationMode::kTargeted;
+  // Drift budget for promotion, as a fraction of epsilon * delta: an
+  // entry survives while its cumulative L1 perturbation bound stays under
+  // invalidation_slack * epsilon * delta, i.e. every score above the
+  // paper's delta threshold still meets a (1 + slack) * epsilon relative
+  // bound (docs/API.md "Dynamic graphs: mutations and invalidation").
+  double invalidation_slack = 0.5;
 
   // Observability/test hook, invoked on the worker thread right after a
   // job is dequeued (before the deadline check and the solver call).
@@ -210,12 +229,45 @@ class QueryService {
   // Drains queued work, stops the workers. Idempotent, thread-safe.
   void Stop();
 
+  // Dynamic graphs: points the service at a new graph version.
+  // `snapshot` must be self-contained (MutableGraphView::Snapshot() —
+  // it keeps its base alive); `delta` is what changed since the previous
+  // call, with delta.epoch the snapshot's content epoch.
+  //
+  // Three situations, distinguished by the delta:
+  //   * content changed (delta non-empty): workers rebuild their solver
+  //     before their next job, and the cache runs the epoch transition —
+  //     targeted promotion or full flush per ServeOptions::invalidation.
+  //     In-flight jobs that already started keep computing against their
+  //     pinned older snapshot and insert under the OLD epoch, where new
+  //     lookups (which use the new epoch) can no longer see them, and
+  //     Submit refuses to coalesce new requests onto them (Job::
+  //     compute_epoch): a mutation can never cause a stale answer, only
+  //     a wasted compute.
+  //   * compaction swap (delta empty, epoch unchanged): workers re-point
+  //     to the folded base; the cache is untouched — the content is
+  //     identical, so every entry stays valid.
+  //   * AddNode (delta.nodes_added): score-vector lengths change; every
+  //     old-epoch entry is dropped regardless of mode.
+  void UpdateGraph(Graph snapshot, const GraphDelta& delta);
+
   std::size_t num_workers() const { return solvers_.size(); }
-  const Graph& graph() const { return graph_; }
+  // The graph version the service currently answers against (pinned; safe
+  // to use after further UpdateGraph calls) and its content epoch.
+  Graph graph() const;
+  std::uint64_t graph_epoch() const;
   const RwrConfig& config() const { return config_; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  // One graph version. Workers pin the state their solver was built
+  // against; UpdateGraph publishes a new one.
+  struct GraphState {
+    Graph graph;
+    std::uint64_t epoch = 0;
+    GraphState(Graph g, std::uint64_t e) : graph(std::move(g)), epoch(e) {}
+  };
 
   struct Waiter {
     std::promise<QueryResponse> promise;
@@ -230,10 +282,21 @@ class QueryService {
   // token carries the job's deadline into the solver and is tripped by
   // Cancel() once no waiter remains.
   struct Job {
+    // compute_epoch value while the job is still queued: no worker has
+    // pinned a graph state for it yet, so it will compute against the
+    // newest state at dequeue time.
+    static constexpr std::uint64_t kEpochUnset = ~std::uint64_t{0};
+
     NodeId source = 0;
     CancellationToken token;
     Clock::time_point enqueue_time;
     std::vector<Waiter> waiters;
+    // Epoch of the graph state the worker pinned for this job, stamped at
+    // dequeue. Submit refuses to coalesce onto a job already computing
+    // against an older epoch than the current one — otherwise a request
+    // arriving after UpdateGraph could be answered with pre-mutation
+    // scores (the one path where coalescing could serve a stale answer).
+    std::atomic<std::uint64_t> compute_epoch{kEpochUnset};
   };
 
   // What the worker (or the queued-expiry path) hands to FinalizeJob: the
@@ -248,6 +311,10 @@ class QueryService {
     double compute_seconds = 0.0;
   };
 
+  std::shared_ptr<const GraphState> CurrentState() const;
+  // Builds a worker's solver against `state` (factory or ResAccSolver).
+  std::unique_ptr<SsrwrAlgorithm> MakeSolver(const GraphState& state) const;
+
   void WorkerLoop(std::size_t worker_index);
   // Publishes the completion to every remaining waiter and retires the job
   // from the in-flight and request-id tables. Waiters that set
@@ -258,12 +325,20 @@ class QueryService {
   QueryResponse MakeResponse(const Completion& completion,
                              const Waiter& waiter) const;
 
-  const Graph& graph_;
   const RwrConfig config_;
   const ServeOptions options_;
   const std::uint64_t config_hash_;
 
+  // Current graph version; swapped whole by UpdateGraph under mutex_.
+  // Workers pin the state each solver was built against, so a swap never
+  // pulls the graph out from under a running solve.
+  std::shared_ptr<const GraphState> graph_state_;
+
+  // Worker-private solvers; slot i is rebuilt by worker i when it
+  // observes a newer graph state (worker_states_[i] tracks which state
+  // slot i's solver answers against).
   std::vector<std::unique_ptr<SsrwrAlgorithm>> solvers_;
+  std::vector<std::shared_ptr<const GraphState>> worker_states_;
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;
@@ -293,6 +368,8 @@ class QueryService {
   Counter& degraded_;
   Counter& cancelled_;
   Counter& stale_served_;
+  Counter& invalidated_;
+  Counter& cache_kept_;
   LatencyHistogram& latency_;
   LatencyHistogram& queue_wait_;
   LatencyHistogram& compute_hist_;

@@ -123,6 +123,46 @@ void ResultCache::Insert(const CacheKey& key, Value value) {
   }
 }
 
+ResultCache::InvalidationStats ResultCache::InvalidateEpoch(
+    std::uint64_t config_hash, std::uint64_t old_epoch,
+    std::uint64_t new_epoch, double drift_budget, const InfluenceFn& influence,
+    bool flush_all) {
+  InvalidationStats stats;
+  if (max_bytes_ == 0 || old_epoch == new_epoch) return stats;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.config_hash != config_hash || it->key.epoch != old_epoch) {
+        ++it;
+        continue;
+      }
+      bool keep = false;
+      double drift = it->drift;
+      if (!flush_all && influence != nullptr) {
+        drift += influence(*it->value);
+        keep = drift <= drift_budget;  // infinite influence never passes
+      }
+      if (keep) {
+        // Rekey in place: shard choice ignores the epoch, so only the
+        // index needs to move.
+        shard.index.erase(it->key);
+        it->key.epoch = new_epoch;
+        it->drift = drift;
+        shard.index.emplace(it->key, it);
+        ++stats.promoted;
+        ++it;
+      } else {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++stats.dropped;
+      }
+    }
+  }
+  return stats;
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);

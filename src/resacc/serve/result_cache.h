@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -21,12 +22,23 @@ namespace resacc {
 // determines the answer (RwrConfig + ResAccOptions, including the seed —
 // the solver is deterministic given those). Two services with different
 // configurations can therefore share one cache without cross-talk.
+//
+// `epoch` pins the entry to a graph content version (dynamic graphs:
+// MutableGraphView::epoch()). A lookup at the live epoch can never return
+// a vector computed against different edges — after a mutation batch the
+// serving layer either promotes entries to the new epoch (when their
+// influence bound stays within budget, see InvalidateEpoch) or leaves
+// them behind to age out. Static deployments leave it 0. Compaction
+// changes the *generation* (physical base), not the epoch (content), so
+// cached entries survive compaction swaps untouched.
 struct CacheKey {
   std::uint64_t config_hash = 0;
   NodeId source = 0;
+  std::uint64_t epoch = 0;
 
   bool operator==(const CacheKey& other) const {
-    return config_hash == other.config_hash && source == other.source;
+    return config_hash == other.config_hash && source == other.source &&
+           epoch == other.epoch;
   }
 };
 
@@ -35,6 +47,7 @@ struct CacheKeyHash {
     std::uint64_t h = key.config_hash ^
                       (static_cast<std::uint64_t>(key.source) + 1) *
                           0x9e3779b97f4a7c15ULL;
+    h ^= (key.epoch + 1) * 0xc2b2ae3d27d4eb4fULL;
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdULL;
     h ^= h >> 33;
@@ -96,6 +109,30 @@ class ResultCache {
   // within the shard's byte budget.
   void Insert(const CacheKey& key, Value value);
 
+  // Epoch transition for one configuration (dynamic graphs). Visits every
+  // entry with {config_hash, epoch == old_epoch} and either
+  //   * promotes it — rekeys to new_epoch in place — when the batch's
+  //     influence on this entry (influence(scores), see
+  //     dynamic/invalidation.h) keeps its cumulative drift within
+  //     `drift_budget`, or
+  //   * drops it (flush_all set, budget exceeded, or influence infinite).
+  // Promotion accumulates: an entry's drift is the sum of the influence
+  // bounds of every batch it survived, so the slackened guarantee holds
+  // against the entry's *original* computation, not just the last epoch.
+  // Entries are rekeyed within their shard (shard choice ignores the
+  // epoch), so no cross-shard locking happens.
+  struct InvalidationStats {
+    std::size_t promoted = 0;
+    std::size_t dropped = 0;
+  };
+  using InfluenceFn = std::function<double(const std::vector<Score>&)>;
+  InvalidationStats InvalidateEpoch(std::uint64_t config_hash,
+                                    std::uint64_t old_epoch,
+                                    std::uint64_t new_epoch,
+                                    double drift_budget,
+                                    const InfluenceFn& influence,
+                                    bool flush_all = false);
+
   void Clear();
 
   Counters counters() const;
@@ -109,6 +146,9 @@ class ResultCache {
     Value value;
     std::size_t bytes = 0;
     std::chrono::steady_clock::time_point inserted;
+    // Cumulative L1 perturbation bound accrued across the epoch
+    // promotions this entry survived (InvalidateEpoch).
+    double drift = 0.0;
   };
   struct Shard {
     std::mutex mutex;
@@ -123,8 +163,11 @@ class ResultCache {
     std::uint64_t evictions = 0;
   };
 
+  // Shard choice deliberately ignores the epoch so InvalidateEpoch can
+  // rekey an entry to a new epoch without moving it across shards.
   Shard& ShardFor(const CacheKey& key) {
-    return *shards_[CacheKeyHash()(key) % shards_.size()];
+    const CacheKey epochless{key.config_hash, key.source, 0};
+    return *shards_[CacheKeyHash()(epochless) % shards_.size()];
   }
 
   std::size_t max_bytes_;

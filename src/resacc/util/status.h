@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,  // serving: request expired while queued or mid-compute
   kCancelled,         // serving: request cancelled via Cancel(request_id)
+  kAlreadyExists,     // dynamic graphs: AddEdge of an edge already present
 };
 
 // A success-or-error result, modelled after absl::Status but minimal.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -291,8 +291,8 @@ TEST(ServeCancelTest, DeadlineMidComputeReturnsFastWithoutBlockingWorker) {
   ServeOptions options;
   options.num_workers = 1;
   options.cache_bytes = 0;  // no accidental hits
-  options.solver_factory = [&graph, &config] {
-    return std::make_unique<MonteCarlo>(graph, config);
+  options.solver_factory = [&config](const Graph& g) {
+    return std::make_unique<MonteCarlo>(g, config);
   };
   options.cache_tag = 0x51;
   QueryService service(graph, config, options);
@@ -335,8 +335,8 @@ TEST(ServeCancelTest, AllowDegradedTurnsDeadlineIntoHonestPartialResult) {
   ServeOptions options;
   options.num_workers = 1;
   options.cache_bytes = 64 << 20;
-  options.solver_factory = [&graph, &config] {
-    return std::make_unique<MonteCarlo>(graph, config);
+  options.solver_factory = [&config](const Graph& g) {
+    return std::make_unique<MonteCarlo>(g, config);
   };
   options.cache_tag = 0x52;
   QueryService service(graph, config, options);

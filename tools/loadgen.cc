@@ -5,7 +5,15 @@
 //
 //   loadgen --cmd="build/tools/resacc_serve graph.bin --workers=4"
 //           [--queries=1000] [--zipf=0.99] [--topk=10] [--window=16]
-//           [--seed=7] [--chaos] [--chaos-prob=P] [--chaos-seed=S]
+//           [--seed=7] [--mutate=F] [--chaos] [--chaos-prob=P]
+//           [--chaos-seed=S]
+//
+// --mutate=F interleaves graph mutations into the stream: each operation
+// is, with probability F, an `addedge`/`rmedge` line (edges previously
+// added by this client are preferentially removed, so the graph churns
+// rather than only growing) instead of a query. Mutation responses ride
+// the same ordered pipe; latency percentiles and the hit count are
+// reported over the query operations only.
 //
 // --chaos spawns the server with deterministic fault injection armed
 // (RESACC_FAULTS=1, see util/fault_injection.h): queue rejections, forced
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("window", 16));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 7));
+  const double mutate = args.GetDouble("mutate", 0.0);
   const bool chaos = args.HasFlag("chaos");
   const double chaos_prob = args.GetDouble("chaos-prob", 0.02);
   const std::uint64_t chaos_seed = static_cast<std::uint64_t>(
@@ -148,36 +157,77 @@ int main(int argc, char** argv) {
               num_queries, theta, nodes, window);
 
   LatencyHistogram latency;
-  std::deque<Timer> in_flight;  // send timestamps, FIFO = response order
+  // Send timestamps + operation kind, FIFO = response order. Mutations
+  // share the ordered pipe but are excluded from latency/hit accounting.
+  struct InFlight {
+    Timer timer;
+    bool is_query = true;
+  };
+  std::deque<InFlight> in_flight;
   std::size_t sent = 0;
-  std::size_t received = 0;
+  std::size_t received = 0;       // query responses
+  std::size_t mutations = 0;      // mutation responses
+  std::size_t mutation_errors = 0;
   std::size_t errors = 0;
   std::size_t hits = 0;
   Timer wall;
 
+  // Edges this client added and can later remove; churn, not just growth.
+  Rng mrng(seed ^ 0x0edce5ULL);
+  std::vector<std::pair<NodeId, NodeId>> our_edges;
+
   auto receive_one = [&]() -> bool {
     if (!ReadLine(proc, line)) return false;
-    latency.Record(in_flight.front().ElapsedSeconds());
-    in_flight.pop_front();
-    ++received;
-    if (line.rfind("ok ", 0) == 0) {
-      if (line.find("hit=1") != std::string::npos) ++hits;
+    const InFlight& op = in_flight.front();
+    const bool ok = line.rfind("ok ", 0) == 0;
+    if (op.is_query) {
+      latency.Record(op.timer.ElapsedSeconds());
+      ++received;
+      if (ok) {
+        if (line.find("hit=1") != std::string::npos) ++hits;
+      } else {
+        ++errors;
+      }
     } else {
-      ++errors;
+      ++mutations;
+      if (!ok) ++mutation_errors;
     }
+    in_flight.pop_front();
     return true;
+  };
+
+  auto send_mutation = [&]() {
+    const bool remove = !our_edges.empty() && mrng.Bernoulli(0.5);
+    if (remove) {
+      const std::size_t pick = mrng.NextBounded(our_edges.size());
+      const auto [u, v] = our_edges[pick];
+      our_edges[pick] = our_edges.back();
+      our_edges.pop_back();
+      std::fprintf(proc.to_server, "rmedge %u %u\n", u, v);
+    } else {
+      const NodeId u = static_cast<NodeId>(mrng.NextBounded(nodes));
+      NodeId v = static_cast<NodeId>(mrng.NextBounded(nodes));
+      if (v == u) v = (v + 1) % static_cast<NodeId>(nodes);
+      our_edges.emplace_back(u, v);
+      std::fprintf(proc.to_server, "addedge %u %u\n", u, v);
+    }
+    in_flight.push_back(InFlight{Timer(), /*is_query=*/false});
   };
 
   while (received < num_queries) {
     while (sent < num_queries && in_flight.size() < window) {
+      if (mutate > 0.0 && mrng.Bernoulli(mutate)) {
+        send_mutation();
+        if (in_flight.size() >= window) break;
+      }
       std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
       ++sent;
-      in_flight.emplace_back();
+      in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
     }
     std::fflush(proc.to_server);
     if (!receive_one()) {
       std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
-                   received);
+                   received + mutations);
       return 1;
     }
   }
@@ -198,6 +248,10 @@ int main(int argc, char** argv) {
   std::printf("client:  %zu ok, %zu errors in %.2fs -> %.1f qps\n",
               received - errors, errors, elapsed,
               static_cast<double>(received) / elapsed);
+  if (mutations > 0) {
+    std::printf("mutate:  %zu mutations interleaved (%zu errors)\n",
+                mutations, mutation_errors);
+  }
   std::printf("latency: %s\n", snap.ToString().c_str());
   std::printf("hits:    %zu/%zu (%.1f%%)\n", hits, received,
               received > 0 ? 100.0 * static_cast<double>(hits) /
@@ -214,5 +268,5 @@ int main(int argc, char** argv) {
                 received, errors);
     return 0;
   }
-  return errors == 0 ? 0 : 1;
+  return errors == 0 && mutation_errors == 0 ? 0 : 1;
 }

@@ -5,7 +5,9 @@
 //                [--deadline-ms=D] [--allow-degraded] [--window=W]
 //                [--alpha=A] [--epsilon=E] [--seed=S]
 //                [--dangling=absorb|source] [--walk-threads=W]
-//                [--stats-interval=SECONDS]
+//                [--stats-interval=SECONDS] [--compact-threshold=R]
+//                [--snapshot-prefix=PATH]
+//                [--invalidation=targeted|flush] [--invalidation-slack=S]
 //
 // Protocol (one request per line on stdin, one response line on stdout,
 // responses in request order):
@@ -13,11 +15,26 @@
 //                                degraded=0|1 stale=0|1 eps=<achieved>
 //                                us=<latency> top <node>:<score> ...
 //   info                    ->  info nodes=<n> edges=<m> workers=<w>
+//                                epoch=<e> gen=<g> overlay=<rows>
+//   addedge <u> <v>         ->  ok addedge <u> <v> applied=0|1 epoch=<e>
+//   rmedge <u> <v>          ->  ok rmedge <u> <v> applied=0|1 epoch=<e>
+//   addnode                 ->  ok addnode <id> epoch=<e>
+//   compact                 ->  ok compact gen=<g> folded=<rows> ms=<t>
 //   stats                   ->  stats <key=value ...>
 //   metrics                 ->  Prometheus text exposition (multi-line),
 //                               terminated by a line reading `# EOF`
 //   quit                    ->  bye (and exit 0)
 //   anything else           ->  err <message>
+//
+// Mutations (docs/API.md "Dynamic graphs") are applied synchronously in
+// the reader thread before later lines are parsed, so a query sent after
+// a mutation always sees it. applied=0 means the mutation validated but
+// was a no-op (duplicate add, missing remove); malformed or out-of-range
+// mutations come back as err lines. --compact-threshold=R additionally
+// folds the delta overlay into a fresh base on a background thread once
+// it carries R dirty rows; `compact` forces a fold now.
+// --snapshot-prefix=PATH persists every compacted generation as
+// PATH.gen<G>.rsg with the generation stamped in the RESACC02 header.
 //
 // The service registers its metrics in MetricsRegistry::Global(), so a
 // `metrics` scrape carries the serve series next to the solver phase
@@ -38,6 +55,7 @@
 #include <thread>
 #include <utility>
 
+#include "resacc/graph/dynamic/mutable_graph_view.h"
 #include "resacc/graph/graph_io.h"
 #include "resacc/graph/graph_snapshot.h"
 #include "resacc/obs/metrics_registry.h"
@@ -118,10 +136,20 @@ int main(int argc, char** argv) {
       .GetGauge("resacc_graph_resident_bytes", "",
                 "CSR bytes resident for the serving graph (heap or mapped)")
       .Set(static_cast<double>(graph.value().MemoryBytes()));
+  Gauge& generation_gauge = MetricsRegistry::Global().GetGauge(
+      "resacc_graph_generation", "",
+      "Compaction generation of the serving graph's base CSR");
+  generation_gauge.Set(static_cast<double>(load_info.generation));
   std::fprintf(stderr,
                "[serve] graph loaded in %.3fs (resident=%zu bytes, mmap=%d)\n",
                load_seconds, graph.value().MemoryBytes(),
                load_info.mmap_used ? 1 : 0);
+  if (snapshot) {
+    std::fprintf(stderr, "[serve] snapshot header: format=RESACC%02u "
+                 "generation=%llu\n",
+                 load_info.format_version,
+                 static_cast<unsigned long long>(load_info.generation));
+  }
 
   RwrConfig config = RwrConfig::ForGraphSize(graph.value().num_nodes());
   config.alpha = args.GetDouble("alpha", config.alpha);
@@ -156,8 +184,40 @@ int main(int argc, char** argv) {
   // One process, one service: share the process-wide registry so the
   // `metrics` verb sees serve, solver, and walk-engine series together.
   options.metrics_registry = &MetricsRegistry::Global();
+  options.invalidation =
+      args.GetString("invalidation", "targeted") == "flush"
+          ? ServeOptions::InvalidationMode::kFlushAll
+          : ServeOptions::InvalidationMode::kTargeted;
+  options.invalidation_slack = args.GetDouble("invalidation-slack", 0.5);
 
-  QueryService service(graph.value(), config, options);
+  // The live-graph layer: mutations go through the view; the service is
+  // re-pointed at a fresh epoch snapshot after every applied batch. Held
+  // in a unique_ptr so the compactor thread can be joined (reset) before
+  // the service — whose UpdateGraph the compaction callback calls — is
+  // destroyed.
+  MutableGraphOptions view_options;
+  view_options.compact_threshold_rows =
+      static_cast<std::size_t>(args.GetInt("compact-threshold", 0));
+  view_options.snapshot_path_prefix = args.GetString("snapshot-prefix", "");
+  view_options.initial_generation = load_info.generation;
+  auto view = std::make_unique<MutableGraphView>(graph.value().ShallowView(),
+                                                 view_options);
+  const Graph serving_graph = view->Snapshot();
+
+  QueryService service(serving_graph, config, options);
+  view->set_compaction_callback(
+      [&service, &generation_gauge, view_ptr = view.get()](
+          const CompactionInfo& info) {
+        // Same content, new physical base: epoch unchanged, empty delta.
+        service.UpdateGraph(view_ptr->Snapshot(), GraphDelta{});
+        generation_gauge.Set(static_cast<double>(info.generation));
+        std::fprintf(stderr,
+                     "[serve] compacted: gen=%llu folded=%zu ms=%.1f%s%s\n",
+                     static_cast<unsigned long long>(info.generation),
+                     info.folded_rows, info.seconds * 1e3,
+                     info.snapshot_path.empty() ? "" : " -> ",
+                     info.snapshot_path.c_str());
+      });
   const std::size_t window = static_cast<std::size_t>(args.GetInt(
       "window", static_cast<std::int64_t>(2 * service.num_workers())));
 
@@ -230,12 +290,63 @@ int main(int argc, char** argv) {
       item.future = service.Submit(request);
       output.Push(std::move(item));  // blocks once `window` are in flight
     } else if (std::strcmp(command, "info") == 0) {
+      const Graph live = view->Snapshot();
+      const MutableGraphStats graph_stats = view->stats();
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "info nodes=%u edges=%llu workers=%zu epoch=%llu "
+                    "gen=%llu overlay=%zu",
+                    live.num_nodes(),
+                    static_cast<unsigned long long>(live.num_edges()),
+                    service.num_workers(),
+                    static_cast<unsigned long long>(graph_stats.epoch),
+                    static_cast<unsigned long long>(graph_stats.generation),
+                    graph_stats.overlay_rows);
+      emit_literal(buf);
+    } else if (std::strcmp(command, "addedge") == 0 ||
+               std::strcmp(command, "rmedge") == 0) {
+      unsigned long u = 0;
+      unsigned long v = 0;
+      if (std::sscanf(line, "%*s %lu %lu", &u, &v) != 2) {
+        emit_literal("err malformed mutation line");
+        continue;
+      }
+      const bool remove = command[0] == 'r';
+      GraphDelta delta;
+      const Status status =
+          remove ? view->RemoveEdge(static_cast<NodeId>(u),
+                                    static_cast<NodeId>(v), &delta)
+                 : view->AddEdge(static_cast<NodeId>(u),
+                                 static_cast<NodeId>(v), &delta);
+      if (!status.ok() && status.code() != StatusCode::kAlreadyExists &&
+          status.code() != StatusCode::kNotFound) {
+        emit_literal("err " + status.ToString());
+        continue;
+      }
+      // A no-op mutation (duplicate add / missing remove) publishes no
+      // epoch and needs no service update.
+      if (status.ok()) service.UpdateGraph(view->Snapshot(), delta);
       char buf[128];
-      std::snprintf(buf, sizeof(buf), "info nodes=%u edges=%llu workers=%zu",
-                    graph.value().num_nodes(),
-                    static_cast<unsigned long long>(
-                        graph.value().num_edges()),
-                    service.num_workers());
+      std::snprintf(buf, sizeof(buf), "ok %s %lu %lu applied=%d epoch=%llu",
+                    command, u, v, status.ok() ? 1 : 0,
+                    static_cast<unsigned long long>(view->epoch()));
+      emit_literal(buf);
+    } else if (std::strcmp(command, "addnode") == 0) {
+      GraphDelta delta;
+      const NodeId id = view->AddNode(&delta);
+      service.UpdateGraph(view->Snapshot(), delta);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "ok addnode %u epoch=%llu", id,
+                    static_cast<unsigned long long>(view->epoch()));
+      emit_literal(buf);
+    } else if (std::strcmp(command, "compact") == 0) {
+      // The compaction callback re-points the service and the gauge; this
+      // verb just reports what the fold did.
+      const CompactionInfo compaction = view->Compact();
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "ok compact gen=%llu folded=%zu ms=%.1f",
+                    static_cast<unsigned long long>(compaction.generation),
+                    compaction.folded_rows, compaction.seconds * 1e3);
       emit_literal(buf);
     } else if (std::strcmp(command, "stats") == 0) {
       OutputItem item;
@@ -255,5 +366,8 @@ int main(int argc, char** argv) {
 
   output.Close();
   writer.join();
+  // Join the compactor before `service` (declared later, destroyed first)
+  // goes away: its callback re-points the service.
+  view.reset();
   return 0;
 }
