@@ -48,11 +48,13 @@ REQUIRED_SECTIONS = {
         "graph-storage",
         "resacc02-byte-layout",
         "dynamic-graphs-mutations-and-invalidation",
+        "batched-solving",
     ],
     "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
     "DESIGN.md": [
         "storage-ownership-borrowed-spans",
         "dynamic-graphs-delta-overlay-epochs-compaction",
+        "batched-solving-shared-frontier-simd-lanes",
     ],
 }
 

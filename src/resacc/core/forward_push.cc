@@ -1,9 +1,10 @@
 #include "resacc/core/forward_push.h"
 
-#include <deque>
 #include <queue>
 #include <utility>
 #include <vector>
+
+#include "resacc/core/frontier.h"
 
 namespace resacc {
 
@@ -46,62 +47,45 @@ namespace {
 // while the stop latency stays far under a millisecond.
 constexpr std::uint64_t kCancelPollInterval = 512;
 
-// FIFO work list.
-PushStats ForwardSearchFifo(const Graph& graph, const RwrConfig& config,
-                            NodeId source, Score r_max,
-                            std::span<const NodeId> seeds,
-                            bool push_seeds_unconditionally,
-                            PushState& state,
-                            const CancellationToken* cancel) {
+// Level-synchronous work list on the shared Frontier (see frontier.h):
+// seeds form round 0 in caller order, everything after runs in canonical
+// ascending-id rounds — the wavefront behaviour of the classic FIFO with a
+// processing order that is a pure function of the scheduled (node, round)
+// pairs, which is what lets the batched solver replay it per lane.
+PushStats ForwardSearchLevelSync(const Graph& graph, const RwrConfig& config,
+                                 NodeId source, Score r_max,
+                                 std::span<const NodeId> seeds,
+                                 bool push_seeds_unconditionally,
+                                 PushState& state,
+                                 const CancellationToken* cancel) {
   PushStats stats;
-  std::deque<NodeId> queue;
-  std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
-
-  std::size_t seeds_enqueued = 0;
-  for (NodeId seed : seeds) {
-    if (!in_queue[seed]) {
-      in_queue[seed] = 1;
-      queue.push_back(seed);
-      ++seeds_enqueued;
-    }
-  }
-
-  // Seeds sit at the head of the FIFO queue, so exactly the first
-  // `seeds_enqueued` dequeues are seed pushes.
-  bool processing_seeds = push_seeds_unconditionally;
-  std::size_t seeds_remaining = seeds_enqueued;
+  Frontier frontier(graph.num_nodes());
+  for (NodeId seed : seeds) frontier.Seed(seed);
 
   std::uint64_t pops = 0;
-  while (!queue.empty()) {
+  NodeId node;
+  while (frontier.Next(&node)) {
     if (cancel != nullptr && (++pops % kCancelPollInterval) == 0 &&
         cancel->ShouldStop()) {
       break;
     }
-    const NodeId node = queue.front();
-    queue.pop_front();
-    in_queue[node] = 0;
-
-    const bool unconditional = processing_seeds && seeds_remaining > 0;
-    if (seeds_remaining > 0) --seeds_remaining;
-    if (seeds_remaining == 0) processing_seeds = false;
-
+    const bool unconditional =
+        push_seeds_unconditionally && frontier.round() == 0;
     if (!unconditional && !SatisfiesPushCondition(graph, state, node, r_max)) {
       continue;
     }
     ForwardPushAt(graph, config, source, node, state, stats);
 
-    // Enqueue out-neighbours (and possibly the source, under
+    // Schedule out-neighbours (and possibly the source, under
     // kBackToSource) that now satisfy the push condition.
     for (NodeId v : graph.OutNeighbors(node)) {
-      if (!in_queue[v] && SatisfiesPushCondition(graph, state, v, r_max)) {
-        in_queue[v] = 1;
-        queue.push_back(v);
+      if (SatisfiesPushCondition(graph, state, v, r_max)) {
+        frontier.Schedule(v);
       }
     }
-    if (config.dangling == DanglingPolicy::kBackToSource && !in_queue[source] &&
+    if (config.dangling == DanglingPolicy::kBackToSource &&
         SatisfiesPushCondition(graph, state, source, r_max)) {
-      in_queue[source] = 1;
-      queue.push_back(source);
+      frontier.Schedule(source);
     }
   }
   return stats;
@@ -173,8 +157,8 @@ PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
     return ForwardSearchMaxFirst(graph, config, source, r_max, seeds,
                                  push_seeds_unconditionally, state, cancel);
   }
-  return ForwardSearchFifo(graph, config, source, r_max, seeds,
-                           push_seeds_unconditionally, state, cancel);
+  return ForwardSearchLevelSync(graph, config, source, r_max, seeds,
+                                push_seeds_unconditionally, state, cancel);
 }
 
 }  // namespace resacc

@@ -43,10 +43,14 @@ void ForwardPushAt(const Graph& graph, const RwrConfig& config, NodeId source,
 
 // Work-list policy for the forward search.
 enum class PushOrder {
-  // FIFO queue — the classic forward-push / FORA processing order, and
-  // the default everywhere. Its level-synchronous wavefronts already
-  // maximize residue accumulation: by the time a node is popped, its
-  // entire in-frontier has pushed into it.
+  // Level-synchronous rounds on the shared Frontier (frontier.h) — the
+  // classic FIFO wavefront with a canonical ascending-id order inside
+  // each round, and the default everywhere. Wavefronts maximize residue
+  // accumulation (a node collects from its whole in-frontier before it is
+  // popped), and the canonical in-round order makes the processing
+  // sequence deterministic in the scheduled (node, round) pairs alone —
+  // the property the batched multi-source solver builds on. The enum name
+  // is kept for the queue family it belongs to.
   kFifo,
   // Largest residue first (lazy max-heap). Measured *worse* than kFifo on
   // power-law graphs (5-7x more pushes: the greedy pop re-processes hub

@@ -1,8 +1,8 @@
 #include "resacc/core/h_hop_fwd.h"
 
 #include <cmath>
-#include <deque>
 
+#include "resacc/core/frontier.h"
 #include "resacc/util/check.h"
 
 namespace resacc {
@@ -70,35 +70,43 @@ HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
   state.SetResidue(source, 1.0);
   ForwardPushAt(graph, config, source, source, state, stats.push);
 
-  std::deque<NodeId> queue;
-  std::vector<std::uint8_t> in_queue(graph.num_nodes(), 0);
-  auto try_enqueue = [&](NodeId v) {
-    if (!in_queue[v] && eligible.CanPush(v) &&
+  // Shared round-based work list (frontier.h): the source's neighbours
+  // (plus the source itself, without loop accumulation) seed round 0 in
+  // CSR order; eligibility is enforced at scheduling time, so a scheduled
+  // node is always inside the hop set (and never the excluded source).
+  Frontier frontier(graph.num_nodes());
+  auto try_schedule = [&](NodeId v) {
+    if (eligible.CanPush(v) &&
         SatisfiesPushCondition(graph, state, v, options.r_max_hop)) {
-      in_queue[v] = 1;
-      queue.push_back(v);
+      frontier.Schedule(v);
     }
   };
-  for (NodeId v : graph.OutNeighbors(source)) try_enqueue(v);
-  if (!options.use_loop_accumulation) try_enqueue(source);
+  for (NodeId v : graph.OutNeighbors(source)) {
+    if (eligible.CanPush(v) &&
+        SatisfiesPushCondition(graph, state, v, options.r_max_hop)) {
+      frontier.Seed(v);
+    }
+  }
+  if (!options.use_loop_accumulation &&
+      SatisfiesPushCondition(graph, state, source, options.r_max_hop)) {
+    frontier.Seed(source);
+  }
 
   std::uint64_t pops = 0;
   bool stopped = false;
-  while (!queue.empty()) {
+  NodeId node;
+  while (frontier.Next(&node)) {
     if (options.cancel != nullptr && (++pops % 512) == 0 &&
         options.cancel->ShouldStop()) {
       stopped = true;
       break;
     }
-    const NodeId node = queue.front();
-    queue.pop_front();
-    in_queue[node] = 0;
     if (!SatisfiesPushCondition(graph, state, node, options.r_max_hop)) {
       continue;
     }
     ForwardPushAt(graph, config, source, node, state, stats.push);
-    for (NodeId v : graph.OutNeighbors(node)) try_enqueue(v);
-    if (config.dangling == DanglingPolicy::kBackToSource) try_enqueue(source);
+    for (NodeId v : graph.OutNeighbors(node)) try_schedule(v);
+    if (config.dangling == DanglingPolicy::kBackToSource) try_schedule(source);
   }
 
   // Cancelled mid-phase: the updating phase extrapolates T completed

@@ -82,6 +82,10 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
           options_.metrics_prefix + "_cache_kept_total", "",
           "Cache entries promoted across a graph-mutation epoch "
           "transition (influence bound within the drift budget).")),
+      batched_queries_(registry_.GetCounter(
+          options_.metrics_prefix + "_batched_queries_total", "",
+          "Queries answered by the batched multi-source solver "
+          "(gathers of >= 2 live jobs).")),
       latency_(registry_.GetHistogram(
           options_.metrics_prefix + "_latency_seconds", "",
           "Submit-to-completion latency of OK responses.")),
@@ -90,7 +94,10 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
           "Time a dequeued job spent waiting for a worker.")),
       compute_hist_(registry_.GetHistogram(
           options_.metrics_prefix + "_compute_seconds", "",
-          "Time a job spent inside the solver.")) {
+          "Time a job spent inside the solver.")),
+      batch_size_(registry_.GetHistogram(
+          options_.metrics_prefix + "_batch_size", "",
+          "Jobs gathered per batch on workers with batching enabled.")) {
   const std::string& prefix = options_.metrics_prefix;
   auto add_callback = [this](MetricKind kind, const std::string& name,
                              const std::string& help,
@@ -136,10 +143,13 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
                                   ? options.num_workers
                                   : ThreadPool::DefaultThreads();
   solvers_.reserve(workers);
+  batch_solvers_.reserve(workers);
   worker_states_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     solvers_.push_back(MakeSolver(*graph_state_));
     RESACC_CHECK(solvers_.back() != nullptr);
+    batch_solvers_.push_back(BatchingEnabled() ? MakeBatchSolver(*graph_state_)
+                                               : nullptr);
     worker_states_.push_back(graph_state_);
   }
   pool_ = std::make_unique<ThreadPool>(workers);
@@ -153,6 +163,12 @@ std::unique_ptr<SsrwrAlgorithm> QueryService::MakeSolver(
   if (options_.solver_factory) return options_.solver_factory(state.graph);
   return std::make_unique<ResAccSolver>(state.graph, config_,
                                         options_.solver);
+}
+
+std::unique_ptr<BatchSolver> QueryService::MakeBatchSolver(
+    const GraphState& state) const {
+  return std::make_unique<BatchSolver>(state.graph, config_,
+                                       options_.solver);
 }
 
 std::shared_ptr<const QueryService::GraphState> QueryService::CurrentState()
@@ -429,52 +445,123 @@ bool QueryService::Cancel(std::uint64_t request_id) {
 }
 
 void QueryService::WorkerLoop(std::size_t worker_index) {
+  const std::size_t max_batch =
+      BatchingEnabled()
+          ? std::min<std::size_t>(options_.max_batch, BatchSolver::kMaxLanes)
+          : 1;
+  std::vector<std::shared_ptr<Job>> jobs;
+  std::vector<std::shared_ptr<Job>> live;
+  std::vector<double> queue_waits;
   std::shared_ptr<Job> job;
   while (queue_.Pop(job)) {
-    // Catch up with graph updates: rebuild this worker's solver when a
+    jobs.clear();
+    jobs.push_back(std::move(job));
+    if (max_batch > 1) {
+      // Batch formation: drain whatever is already queued, then linger
+      // for stragglers until the budget runs out. Lingering only ever
+      // waits on an empty queue while holding a partial batch — a full
+      // batch or an exhausted budget goes immediately.
+      const Clock::time_point gather_deadline =
+          Clock::now() + std::chrono::microseconds(options_.batch_linger_us);
+      while (jobs.size() < max_batch) {
+        std::shared_ptr<Job> extra;
+        if (queue_.TryPop(extra)) {
+          jobs.push_back(std::move(extra));
+          continue;
+        }
+        const Clock::time_point now = Clock::now();
+        if (options_.batch_linger_us == 0 || now >= gather_deadline ||
+            !queue_.PopFor(extra, gather_deadline - now)) {
+          break;
+        }
+        jobs.push_back(std::move(extra));
+      }
+      batch_size_.Record(static_cast<double>(jobs.size()));
+    }
+
+    // Catch up with graph updates: rebuild this worker's solvers when a
     // newer state was published. State identity (not epoch) is compared,
-    // so a compaction swap also re-points the solver at the folded base.
+    // so a compaction swap also re-points the solvers at the folded base.
     std::shared_ptr<const GraphState> state = CurrentState();
     if (state != worker_states_[worker_index]) {
       solvers_[worker_index] = MakeSolver(*state);
+      if (max_batch > 1) batch_solvers_[worker_index] = MakeBatchSolver(*state);
       worker_states_[worker_index] = std::move(state);
     }
-    // Publish which epoch this job now computes against: from here on,
-    // Submit must not coalesce a post-mutation request onto it (the
+    const std::uint64_t epoch = worker_states_[worker_index]->epoch;
+
+    // Publish which epoch these jobs now compute against: from here on,
+    // Submit must not coalesce a post-mutation request onto them (the
     // pinned state predates the mutation). Stamped before the hook so a
     // hook that parks the worker models a mid-compute stall faithfully.
-    job->compute_epoch.store(worker_states_[worker_index]->epoch,
-                             std::memory_order_release);
-    if (options_.dequeue_hook) options_.dequeue_hook(job->source);
-    SsrwrAlgorithm& solver = *solvers_[worker_index];
+    for (const std::shared_ptr<Job>& j : jobs) {
+      j->compute_epoch.store(epoch, std::memory_order_release);
+      if (options_.dequeue_hook) options_.dequeue_hook(j->source);
+    }
     // Chaos site: a worker pausing between dequeue and compute (GC-style
     // hiccup). Must only add latency, never change any answer.
     if (RESACC_FAULT("serve.worker_stall")) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
 
-    Completion completion;
-    completion.queue_wait_seconds = SecondsSince(job->enqueue_time);
-    queue_wait_.Record(completion.queue_wait_seconds);
-
-    if (job->token.ShouldStop()) {
-      // Expired (or fully cancelled) while queued: resolve without
-      // touching the solver. No scores exist, so even allow_degraded
-      // waiters get the error.
-      completion.status = job->token.StopStatus();
-      FinalizeJob(job, completion);
-      continue;
+    live.clear();
+    queue_waits.clear();
+    for (const std::shared_ptr<Job>& j : jobs) {
+      const double queue_wait = SecondsSince(j->enqueue_time);
+      queue_wait_.Record(queue_wait);
+      if (j->token.ShouldStop()) {
+        // Expired (or fully cancelled) while queued: resolve without
+        // touching the solver. No scores exist, so even allow_degraded
+        // waiters get the error.
+        Completion completion;
+        completion.queue_wait_seconds = queue_wait;
+        completion.status = j->token.StopStatus();
+        FinalizeJob(j, completion);
+        continue;
+      }
+      live.push_back(j);
+      queue_waits.push_back(queue_wait);
     }
+    if (!live.empty()) ComputeJobs(worker_index, live, queue_waits, epoch);
+  }
+}
 
-    Timer compute_timer;
+void QueryService::ComputeJobs(std::size_t worker_index,
+                               const std::vector<std::shared_ptr<Job>>& live,
+                               const std::vector<double>& queue_waits,
+                               std::uint64_t epoch) {
+  std::vector<ControlledQueryResult> results;
+  Timer compute_timer;
+  if (live.size() == 1) {
     QueryControl control;
-    control.cancel = &job->token;
-    ControlledQueryResult result =
-        solver.QueryControlled(job->source, control);
-    completion.compute_seconds = compute_timer.ElapsedSeconds();
-    computed_.Increment();
-    compute_hist_.Record(completion.compute_seconds);
+    control.cancel = &live.front()->token;
+    results.push_back(solvers_[worker_index]->QueryControlled(
+        live.front()->source, control));
+  } else {
+    // Two or more live jobs: one multi-source solve. Each lane carries
+    // its own token, so a deadline or Cancel() detaches that lane alone;
+    // every lane's result is bit-identical to the serial path it
+    // replaces (batch_solver.h's contract), so which path a job took is
+    // unobservable in its answer.
+    std::vector<BatchLane> lanes;
+    lanes.reserve(live.size());
+    for (const std::shared_ptr<Job>& j : live) {
+      lanes.push_back(BatchLane{j->source, &j->token});
+    }
+    results = batch_solvers_[worker_index]->QueryBatch(lanes);
+    batched_queries_.Increment(live.size());
+  }
+  // The batch computes its lanes together, so the per-job compute time is
+  // the gather's wall time — what each waiter actually experienced.
+  const double compute_seconds = compute_timer.ElapsedSeconds();
+  compute_hist_.Record(compute_seconds);
 
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ControlledQueryResult& result = results[i];
+    computed_.Increment();
+    Completion completion;
+    completion.queue_wait_seconds = queue_waits[i];
+    completion.compute_seconds = compute_seconds;
     completion.status = result.status;
     completion.scores = std::make_shared<const std::vector<Score>>(
         std::move(result.scores));
@@ -489,11 +576,10 @@ void QueryService::WorkerLoop(std::size_t worker_index) {
       // Inserted under the epoch the solver computed against. If the
       // graph moved on mid-compute, that is an old epoch current lookups
       // no longer use — the entry is stranded, never stale-served.
-      cache_.Insert(CacheKey{config_hash_, job->source,
-                             worker_states_[worker_index]->epoch},
+      cache_.Insert(CacheKey{config_hash_, live[i]->source, epoch},
                     completion.scores);
     }
-    FinalizeJob(job, completion);
+    FinalizeJob(live[i], completion);
   }
 }
 

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "resacc/core/batch_solver.h"
 #include "resacc/core/resacc_solver.h"
 #include "resacc/obs/metrics_registry.h"
 #include "resacc/core/rwr_config.h"
@@ -51,6 +52,21 @@ struct ServeOptions {
   // Single-flight: concurrent requests for a source already queued or
   // computing attach to that computation instead of enqueuing a duplicate.
   bool coalesce = true;
+
+  // Batched solving (batch_solver.h): a worker that dequeues a job keeps
+  // gathering queued jobs — up to `max_batch`, lingering at most
+  // `batch_linger_us` microseconds for stragglers once the queue runs
+  // dry — and solves them as one multi-source batch, amortizing each CSR
+  // row read of the shared frontier rounds across every gathered source.
+  // Every lane's result is bit-identical to the serial solver's, so
+  // batching changes throughput and latency, never answers. 1 disables
+  // batching (the default: lingering trades latency for throughput, an
+  // opt-in). Values above BatchSolver::kMaxLanes are clamped; ignored
+  // when solver_factory is set (batching is a ResAcc-pipeline
+  // capability). A batch that ends up with a single live job takes the
+  // ordinary serial path.
+  std::size_t max_batch = 1;
+  std::uint64_t batch_linger_us = 0;
 
   // Deadline applied to requests that do not set one; 0 means none. The
   // deadline is enforced end-to-end: a request whose deadline passes while
@@ -314,8 +330,24 @@ class QueryService {
   std::shared_ptr<const GraphState> CurrentState() const;
   // Builds a worker's solver against `state` (factory or ResAccSolver).
   std::unique_ptr<SsrwrAlgorithm> MakeSolver(const GraphState& state) const;
+  std::unique_ptr<BatchSolver> MakeBatchSolver(const GraphState& state) const;
+
+  // True when workers gather multi-source batches (max_batch > 1 and the
+  // default ResAcc backend — a custom factory's solver has no batch API).
+  bool BatchingEnabled() const {
+    return options_.max_batch > 1 && !options_.solver_factory;
+  }
 
   void WorkerLoop(std::size_t worker_index);
+  // Runs `live` (the non-expired gathered jobs) on worker
+  // `worker_index`'s solver — serial for one job, batched for several —
+  // and finalizes each with its completion. `queue_waits[i]` is job i's
+  // already-recorded queue wait; `epoch` the pinned graph epoch cache
+  // inserts go under.
+  void ComputeJobs(std::size_t worker_index,
+                   const std::vector<std::shared_ptr<Job>>& live,
+                   const std::vector<double>& queue_waits,
+                   std::uint64_t epoch);
   // Publishes the completion to every remaining waiter and retires the job
   // from the in-flight and request-id tables. Waiters that set
   // allow_degraded receive a deadline-truncated partial result as OK +
@@ -338,6 +370,9 @@ class QueryService {
   // observes a newer graph state (worker_states_[i] tracks which state
   // slot i's solver answers against).
   std::vector<std::unique_ptr<SsrwrAlgorithm>> solvers_;
+  // Worker-private batch solvers, built only when BatchingEnabled();
+  // rebuilt alongside solvers_ on graph updates.
+  std::vector<std::unique_ptr<BatchSolver>> batch_solvers_;
   std::vector<std::shared_ptr<const GraphState>> worker_states_;
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;
@@ -370,9 +405,14 @@ class QueryService {
   Counter& stale_served_;
   Counter& invalidated_;
   Counter& cache_kept_;
+  Counter& batched_queries_;
   LatencyHistogram& latency_;
   LatencyHistogram& queue_wait_;
   LatencyHistogram& compute_hist_;
+  // Batch sizes recorded as plain numbers (jobs per gather); the mean is
+  // exact and the quantiles bucket-resolution (~8%), which is enough to
+  // see whether batching is forming.
+  LatencyHistogram& batch_size_;
   // Callback series (cache/queue/uptime gauges) to unregister before the
   // state they borrow dies.
   std::vector<std::uint64_t> callback_ids_;

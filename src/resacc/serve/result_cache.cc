@@ -95,6 +95,12 @@ void ResultCache::Insert(const CacheKey& key, Value value) {
     it->second->value = std::move(value);
     it->second->bytes = bytes;
     it->second->inserted = now;
+    // A refresh is a brand-new computation against the entry's epoch: the
+    // drift accrued by the *previous* vector across past epoch promotions
+    // does not apply to it. Carrying it over would overstate the new
+    // vector's invalidation mass and get it dropped (or consume budget)
+    // at the next epoch transition for perturbations it never saw.
+    it->second->drift = 0.0;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
     shard.lru.push_front(Entry{key, std::move(value), bytes, now});

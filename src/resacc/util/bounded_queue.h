@@ -1,6 +1,7 @@
 #ifndef RESACC_UTIL_BOUNDED_QUEUE_H_
 #define RESACC_UTIL_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -62,6 +63,25 @@ class BoundedQueue {
   bool Pop(T& out) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Blocks up to `timeout` for an item: false on timeout or when the
+  // queue is closed and drained. The serving layer's batch formation
+  // lingers on this — a worker holding a partial batch waits out its
+  // linger budget here instead of spinning on TryPop.
+  template <typename Rep, typename Period>
+  bool PopFor(T& out, const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return false;
+    }
     if (items_.empty()) return false;  // closed and drained
     out = std::move(items_.front());
     items_.pop_front();

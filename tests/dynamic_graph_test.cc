@@ -479,6 +479,29 @@ TEST(ResultCacheEpochTest, DriftAccumulatesAcrossPromotions) {
   EXPECT_EQ(cache.Lookup(CacheKey{1, 0, 3}), nullptr);
 }
 
+TEST(ResultCacheEpochTest, RefreshResetsAccumulatedDrift) {
+  ResultCache cache(1 << 20, 1);
+  cache.Insert(CacheKey{1, 0, 0}, MakeScores({1.0f}));
+  const auto influence = [](const std::vector<Score>&) { return 0.6; };
+  // First transition: 0.6 of the 1.0 budget, promoted carrying drift 0.6.
+  EXPECT_EQ(cache.InvalidateEpoch(1, 0, 1, 1.0, influence).promoted, 1u);
+
+  // A recompute against epoch 1 refreshes the entry (the serving layer's
+  // batched and serial insert paths both land here). The new vector never
+  // saw the epoch-0 perturbation, so its drift must restart at zero —
+  // carrying the old 0.6 over would charge it for a batch it postdates.
+  cache.Insert(CacheKey{1, 0, 1}, MakeScores({2.0f}));
+
+  // Second transition: another 0.6. With stale drift the cumulative bound
+  // would read 1.2 > 1.0 and wrongly drop the fresh entry.
+  const auto stats = cache.InvalidateEpoch(1, 1, 2, 1.0, influence);
+  EXPECT_EQ(stats.promoted, 1u);
+  EXPECT_EQ(stats.dropped, 0u);
+  const auto hit = cache.Lookup(CacheKey{1, 0, 2});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)[0], 2.0);
+}
+
 TEST(ResultCacheEpochTest, FlushAllDropsEverythingAtOldEpoch) {
   ResultCache cache(1 << 20, 2);
   cache.Insert(CacheKey{1, 0, 0}, MakeScores({0.0f}));

@@ -275,6 +275,111 @@ TEST(QueryServiceTest, ConcurrentClientsBitIdenticalToSingleThread) {
   EXPECT_GT(stats.cache_hits + stats.coalesced, 0u);
 }
 
+// --- Batched solving ------------------------------------------------------
+
+// Deterministic batch formation: the dequeue hook fires after the gather,
+// so parking the single worker on one source lets the test queue a known
+// set of jobs that the worker's next gather must pick up as one batch.
+TEST(QueryServiceTest, BatchFormationGathersQueuedJobsAndStaysBitIdentical) {
+  const Graph graph = ChungLuPowerLaw(500, 3000, 2.2, 10);
+  const RwrConfig config = TestConfig(graph);
+  const std::vector<NodeId> sources = PickUniformSources(graph, 9, 11);
+
+  ResAccSolver reference(graph, config, ResAccOptions{});
+  std::vector<std::vector<Score>> expected;
+  for (NodeId s : sources) expected.push_back(reference.Query(s));
+
+  Gate gate;
+  ServeOptions options;
+  options.num_workers = 1;
+  options.cache_bytes = 0;  // every response must come from a solve
+  options.max_batch = 8;
+  options.dequeue_hook = gate.HookBlocking(sources[0]);
+  QueryService service(graph, config, options);
+
+  // The worker gathers sources[0] alone (nothing else queued) and parks in
+  // the hook; the other 8 distinct sources pile up behind it.
+  auto first = service.Submit(QueryRequest{sources[0], 0, 0.0});
+  gate.AwaitArrival();
+  std::vector<std::future<QueryResponse>> rest;
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    rest.push_back(service.Submit(QueryRequest{sources[i], 0, 0.0}));
+  }
+  gate.Open();
+
+  // Whichever path answered — the serial solve for the lone job, one lane
+  // of the batched solve for the rest — every vector is bitwise equal to
+  // the fresh single-source reference.
+  QueryResponse response = first.get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(*response.scores, expected[0]);
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    response = rest[i - 1].get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(*response.scores, expected[i])  // exact, bitwise
+        << "source " << sources[i];
+  }
+
+  // The 8 queued jobs went through the batched solver as one gather; the
+  // hostage job stayed on the serial path (gather of 1).
+  EXPECT_EQ(service.metrics()
+                .GetCounter("resacc_serve_batched_queries_total", "")
+                .Value(),
+            sources.size() - 1);
+  EXPECT_EQ(service.Snapshot().computed, sources.size());
+  for (const auto& sample : service.metrics().TakeSnapshot()) {
+    if (sample.name == "resacc_serve_batch_size") {
+      EXPECT_EQ(sample.histogram.count, 2u);  // two gathers
+      EXPECT_DOUBLE_EQ(sample.histogram.max, 8.0);
+    }
+  }
+}
+
+// Batching under racing clients, with coalescing and caching live: batch
+// membership depends on arrival timing, but the answers must not. Runs
+// under TSAN in CI (serve_test is in the sanitizer job's list), covering
+// concurrent batch formation — Submit racing TryPop/PopFor gathers — and
+// the shared-frontier solve itself.
+TEST(QueryServiceTest, BatchedConcurrentClientsBitIdenticalToSingleThread) {
+  const Graph graph = ChungLuPowerLaw(2000, 16000, 2.2, 9);
+  const RwrConfig config = TestConfig(graph);
+  const std::vector<NodeId> sources = PickUniformSources(graph, 8, 3);
+
+  ResAccSolver reference(graph, config, ResAccOptions{});
+  std::vector<std::vector<Score>> expected;
+  for (NodeId s : sources) expected.push_back(reference.Query(s));
+
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.batch_linger_us = 200;
+  QueryService service(graph, config, options);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          const QueryResponse response =
+              service.Query(QueryRequest{sources[i], 0, 0.0});
+          if (!response.status.ok() ||
+              *response.scores != expected[i]) {  // exact, bitwise
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = service.Snapshot();
+  EXPECT_EQ(stats.completed, 4u * 2u * sources.size());
+  EXPECT_EQ(stats.completed,
+            stats.computed + stats.coalesced + stats.cache_hits);
+}
+
 // walk_threads is speed-only (walk_engine.h): a service whose workers run
 // intra-query-parallel walk engines must answer bit-identically to a plain
 // single-threaded reference solver — fresh computations and cache hits

@@ -5,8 +5,15 @@
 //
 //   loadgen --cmd="build/tools/resacc_serve graph.bin --workers=4"
 //           [--queries=1000] [--zipf=0.99] [--topk=10] [--window=16]
-//           [--seed=7] [--mutate=F] [--chaos] [--chaos-prob=P]
-//           [--chaos-seed=S]
+//           [--closed-loop-burst=B] [--seed=7] [--mutate=F] [--chaos]
+//           [--chaos-prob=P] [--chaos-seed=S]
+//
+// --closed-loop-burst=B replaces the streaming window with closed-loop
+// bursts: B queries are sent together, then all B responses are drained
+// before the next burst goes out. That is the arrival pattern the
+// server's batch formation (resacc_serve --max-batch/--batch-linger-us)
+// gathers into one multi-source solve, so burst mode is how batching is
+// exercised (and measured) end to end through the line protocol.
 //
 // --mutate=F interleaves graph mutations into the stream: each operation
 // is, with probability F, an `addedge`/`rmedge` line (edges previously
@@ -30,6 +37,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -107,6 +115,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("topk", 10));
   const std::size_t window =
       static_cast<std::size_t>(args.GetInt("window", 16));
+  const std::size_t burst =
+      static_cast<std::size_t>(args.GetInt("closed-loop-burst", 0));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 7));
   const double mutate = args.GetDouble("mutate", 0.0);
@@ -214,21 +224,43 @@ int main(int argc, char** argv) {
     in_flight.push_back(InFlight{Timer(), /*is_query=*/false});
   };
 
-  while (received < num_queries) {
-    while (sent < num_queries && in_flight.size() < window) {
-      if (mutate > 0.0 && mrng.Bernoulli(mutate)) {
-        send_mutation();
-        if (in_flight.size() >= window) break;
+  if (burst > 1) {
+    // Closed-loop bursts: every burst is fully in flight before the first
+    // drain, so the server's workers see `burst` simultaneous jobs.
+    while (received < num_queries) {
+      const std::size_t n = std::min(burst, num_queries - sent);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mutate > 0.0 && mrng.Bernoulli(mutate)) send_mutation();
+        std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
+        ++sent;
+        in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
       }
-      std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
-      ++sent;
-      in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
+      std::fflush(proc.to_server);
+      while (!in_flight.empty()) {
+        if (!receive_one()) {
+          std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
+                       received + mutations);
+          return 1;
+        }
+      }
     }
-    std::fflush(proc.to_server);
-    if (!receive_one()) {
-      std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
-                   received + mutations);
-      return 1;
+  } else {
+    while (received < num_queries) {
+      while (sent < num_queries && in_flight.size() < window) {
+        if (mutate > 0.0 && mrng.Bernoulli(mutate)) {
+          send_mutation();
+          if (in_flight.size() >= window) break;
+        }
+        std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
+        ++sent;
+        in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
+      }
+      std::fflush(proc.to_server);
+      if (!receive_one()) {
+        std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
+                     received + mutations);
+        return 1;
+      }
     }
   }
   const double elapsed = wall.ElapsedSeconds();

@@ -5,6 +5,7 @@
 //                [--deadline-ms=D] [--allow-degraded] [--window=W]
 //                [--alpha=A] [--epsilon=E] [--seed=S]
 //                [--dangling=absorb|source] [--walk-threads=W]
+//                [--max-batch=B] [--batch-linger-us=U]
 //                [--stats-interval=SECONDS] [--compact-threshold=R]
 //                [--snapshot-prefix=PATH]
 //                [--invalidation=targeted|flush] [--invalidation-slack=S]
@@ -181,6 +182,14 @@ int main(int argc, char** argv) {
   // single-query latency — useful with --workers=1 on a big machine.
   options.solver.walk_threads =
       static_cast<std::size_t>(args.GetInt("walk-threads", 1));
+  // Batched solving (docs/API.md "Batched solving"): a worker gathers up
+  // to --max-batch queued queries — lingering --batch-linger-us for
+  // stragglers — and solves them as one multi-source batch. Answers are
+  // bit-identical either way; the knobs trade a bounded latency bump for
+  // throughput under concurrent load.
+  options.max_batch = static_cast<std::size_t>(args.GetInt("max-batch", 1));
+  options.batch_linger_us =
+      static_cast<std::uint64_t>(args.GetInt("batch-linger-us", 0));
   // One process, one service: share the process-wide registry so the
   // `metrics` verb sees serve, solver, and walk-engine series together.
   options.metrics_registry = &MetricsRegistry::Global();
