@@ -49,12 +49,22 @@ REQUIRED_SECTIONS = {
         "resacc02-byte-layout",
         "dynamic-graphs-mutations-and-invalidation",
         "batched-solving",
+        "top-k-queries",
     ],
     "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
+    "docs/QUERY_MODES.md": [
+        "full-vector-queries",
+        "top-k-queries",
+        "degraded-and-partial-results",
+        "batched-queries",
+        "deadline-bound-queries",
+        "epoch-pinned-queries-under-mutation",
+    ],
     "DESIGN.md": [
         "storage-ownership-borrowed-spans",
         "dynamic-graphs-delta-overlay-epochs-compaction",
         "batched-solving-shared-frontier-simd-lanes",
+        "top-k-bound-based-early-termination",
     ],
 }
 

@@ -8,6 +8,7 @@
 #include "resacc/core/forward_push.h"
 #include "resacc/core/h_hop_fwd.h"
 #include "resacc/core/remedy.h"
+#include "resacc/core/topk_solve.h"
 #include "resacc/util/check.h"
 #include "resacc/util/timer.h"
 
@@ -141,11 +142,18 @@ BatchSolver::BatchSolver(const Graph& graph, const RwrConfig& config,
 }
 
 std::vector<ControlledQueryResult> BatchSolver::QueryBatch(
-    std::span<const BatchLane> lanes) {
+    std::span<const BatchLane> lanes, std::vector<TopKResult>* topk_results) {
   RESACC_CHECK(!lanes.empty() && lanes.size() <= kMaxLanes);
+  bool any_topk = false;
   for (const BatchLane& lane : lanes) {
     RESACC_CHECK(lane.source < graph_.num_nodes());
+    any_topk = any_topk || lane.top_k > 0;
   }
+  RESACC_CHECK(!any_topk || topk_results != nullptr);
+  if (topk_results != nullptr) {
+    topk_results->assign(lanes.size(), TopKResult{});
+  }
+  topk_out_ = any_topk ? topk_results : nullptr;
   last_stats_ = BatchQueryStats();
   num_lanes_ = lanes.size();
   // Residue + reserve panels; beyond ~2x the L2 size the row fetches miss
@@ -173,6 +181,21 @@ std::vector<ControlledQueryResult> BatchSolver::QueryBatch(
       RunMonteCarloBatch(lanes, results);
       break;
   }
+  // FORA/MC have no bound-certificate machinery; their top-k lanes mirror
+  // the serial SsrwrAlgorithm::QueryTopK default — the full solve above
+  // (bit-identical to serial) bracketed at its achieved epsilon.
+  if (topk_out_ != nullptr && backend_ != Backend::kResAcc) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i].top_k == 0) continue;
+      TopKResult& tk = (*topk_out_)[i];
+      tk = MakeApproximateTopK(results[i].scores, lanes[i].top_k,
+                               results[i].achieved_epsilon,
+                               results[i].degraded,
+                               results[i].uncorrected_mass);
+      tk.status = results[i].status;
+    }
+  }
+  topk_out_ = nullptr;
   return results;
 }
 
@@ -500,7 +523,11 @@ void BatchSolver::SharedRounds(Score r_max, std::span<LaneRun> runs,
 
 void BatchSolver::FinishLane(std::size_t b, LaneRun& run,
                              double remedy_budget_seconds,
-                             ControlledQueryResult& result) {
+                             ControlledQueryResult& result, TopKResult* topk) {
+  if (topk != nullptr && run.top_k > 0) {
+    FinishLaneTopK(b, run, result, *topk);
+    return;
+  }
   result.achieved_epsilon = config_.epsilon;
   result.scores.assign(graph_.num_nodes(), 0.0);
   const auto lane_nodes = state_.lane_touched(b);
@@ -545,6 +572,45 @@ void BatchSolver::FinishLane(std::size_t b, LaneRun& run,
   }
 }
 
+void BatchSolver::FinishLaneTopK(std::size_t b, LaneRun& run,
+                                 ControlledQueryResult& result,
+                                 TopKResult& topk) {
+  // Bridge lane b's reserves AND residues into the scratch PushState in
+  // the lane's serial touched order — bit-identical to the state the
+  // serial QueryTopK holds after its push phases — then run the exact
+  // same finish (separation check, refinement, certified skip or remedy
+  // fallback). Determinism of SolveTopKFromState in the state alone is
+  // what makes batched top-k bit-identical to serial.
+  scratch_.Reset();
+  const auto lane_nodes = state_.lane_touched(b);
+  for (std::size_t i = 0; i < lane_nodes.size(); ++i) {
+    if (i + 8 < lane_nodes.size()) {
+      __builtin_prefetch(state_.ResidueRow(lane_nodes[i + 8]) + b, 0, 1);
+      __builtin_prefetch(state_.ReserveRow(lane_nodes[i + 8]) + b, 0, 1);
+    }
+    const NodeId v = lane_nodes[i];
+    scratch_.SetResidue(v, state_.ResidueRow(v)[b]);
+    scratch_.AddReserve(v, state_.ReserveRow(v)[b]);
+  }
+  Status push_status;
+  if (run.detached) {
+    push_status = run.status;
+    // Serial DOA path: nothing ran, the unit of mass still sits on the
+    // source.
+    if (!run.initialized) scratch_.SetResidue(run.source, 1.0);
+  }
+  Rng query_rng = rng_.Fork(run.source);
+  topk = SolveTopKFromState(graph_, config_, run.source, run.top_k, r_max_f_,
+                            walk_scale_, resacc_options_.topk, scratch_,
+                            query_rng, &walk_engine_, run.cancel, push_status);
+  // Mirror the tags into the lane's ControlledQueryResult row so callers'
+  // uniform status/epsilon accounting keeps working; scores stay empty.
+  result.status = topk.status;
+  result.degraded = topk.degraded;
+  result.uncorrected_mass = topk.uncorrected_mass;
+  result.achieved_epsilon = topk.achieved_epsilon;
+}
+
 void BatchSolver::RunResAccBatch(std::span<const BatchLane> lanes,
                                  std::vector<ControlledQueryResult>& results) {
   const std::size_t B = num_lanes_;
@@ -554,6 +620,7 @@ void BatchSolver::RunResAccBatch(std::span<const BatchLane> lanes,
   for (std::size_t b = 0; b < B; ++b) {
     runs[b].source = lanes[b].source;
     runs[b].cancel = lanes[b].cancel;
+    runs[b].top_k = lanes[b].top_k;
   }
   PollLanes(runs);  // dead-on-arrival lanes never plant r(s) = 1
 
@@ -660,8 +727,10 @@ void BatchSolver::RunResAccBatch(std::span<const BatchLane> lanes,
       phase_timer.ElapsedSeconds() - last_stats_.hop_seconds;
 
   // ---- Phase 3: remedy, per lane (walks do not amortize across lanes).
+  // Top-k lanes take the bound-certificate finish instead.
   for (std::size_t b = 0; b < B; ++b) {
-    FinishLane(b, runs[b], /*remedy_budget_seconds=*/0.0, results[b]);
+    FinishLane(b, runs[b], /*remedy_budget_seconds=*/0.0, results[b],
+               topk_out_ != nullptr ? &(*topk_out_)[b] : nullptr);
   }
   last_stats_.remedy_seconds = phase_timer.ElapsedSeconds() -
                                last_stats_.hop_seconds -

@@ -27,6 +27,11 @@ namespace resacc {
 struct BatchLane {
   NodeId source = 0;
   const CancellationToken* cancel = nullptr;
+  // > 0 makes this a top-k lane: QueryBatch fills the lane's TopKResult
+  // (bit-identical to the serial solver's QueryTopK) and leaves the
+  // ControlledQueryResult's scores empty — skipping the n-vector is the
+  // point of the mode. 0 = ordinary full-vector lane.
+  std::size_t top_k = 0;
 };
 
 // Options of the Monte-Carlo batch backend (mirrors the MonteCarlo ctor).
@@ -172,8 +177,17 @@ class BatchSolver {
   // Solves all lanes (1 <= lanes.size() <= kMaxLanes); results are indexed
   // like `lanes`. Each result is exactly what the serial solver's
   // QueryControlled would return for that lane's (source, cancel).
+  //
+  // Lanes with top_k > 0 require a non-null `topk_results` (resized and
+  // indexed like `lanes`); each such lane gets the serial QueryTopK's
+  // bit-identical TopKResult — the ResAcc backend bridges the lane's
+  // post-OMFWD state into the shared SolveTopKFromState finish, the
+  // FORA/MC backends mirror their serial default (full solve + bracket) —
+  // and its ControlledQueryResult carries only the status/epsilon tags
+  // (scores left empty). Full-vector lanes leave their TopKResult empty.
   std::vector<ControlledQueryResult> QueryBatch(
-      std::span<const BatchLane> lanes);
+      std::span<const BatchLane> lanes,
+      std::vector<TopKResult>* topk_results = nullptr);
 
   // Convenience: runs `sources` through batches of at most `batch_size`
   // lanes (no cancellation tokens).
@@ -190,6 +204,7 @@ class BatchSolver {
   struct LaneRun {
     NodeId source = 0;
     const CancellationToken* cancel = nullptr;
+    std::size_t top_k = 0;            // > 0: top-k lane
     HopLayers layers;                 // h-hop decomposition (OMFWD seeds)
     std::vector<NodeId> seeds;        // current phase's per-lane seed list
     bool initialized = false;         // r(source) = 1 has been planted
@@ -239,9 +254,16 @@ class BatchSolver {
                     BatchFrontier& frontier);
 
   // Remedy + result assembly for one lane (bridges the lane's state into a
-  // scratch PushState in the lane's serial touched order).
+  // scratch PushState in the lane's serial touched order). A non-null
+  // `topk` routes a ResAcc top-k lane through FinishLaneTopK instead.
   void FinishLane(std::size_t b, LaneRun& run, double remedy_budget_seconds,
-                  ControlledQueryResult& result);
+                  ControlledQueryResult& result, TopKResult* topk = nullptr);
+
+  // Top-k finish of a ResAcc lane: bridges reserves AND residues into the
+  // scratch state (same serial touched order) and hands it to the exact
+  // function the serial QueryTopK calls — bit-identity by construction.
+  void FinishLaneTopK(std::size_t b, LaneRun& run,
+                      ControlledQueryResult& result, TopKResult& topk);
 
   const Graph& graph_;
   RwrConfig config_;
@@ -272,6 +294,8 @@ class BatchSolver {
   std::size_t num_lanes_ = 0;
   LaneMask full_mask_ = 0;
   LaneMask detached_mask_ = 0;
+  // Per-call out-param for top-k lanes (null when the batch has none).
+  std::vector<TopKResult>* topk_out_ = nullptr;
   // Software prefetch is worth its issue slots only while the SoA panels
   // overflow the fast cache levels; small graphs run the kernels without
   // the prefetch stages. Set per QueryBatch from the panel footprint.

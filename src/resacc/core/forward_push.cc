@@ -57,17 +57,25 @@ PushStats ForwardSearchLevelSync(const Graph& graph, const RwrConfig& config,
                                  std::span<const NodeId> seeds,
                                  bool push_seeds_unconditionally,
                                  PushState& state,
-                                 const CancellationToken* cancel) {
+                                 const CancellationToken* cancel,
+                                 const PushRoundHook* round_hook) {
   PushStats stats;
   Frontier frontier(graph.num_nodes());
   for (NodeId seed : seeds) frontier.Seed(seed);
 
   std::uint64_t pops = 0;
+  std::size_t round = 0;
   NodeId node;
   while (frontier.Next(&node)) {
     if (cancel != nullptr && (++pops % kCancelPollInterval) == 0 &&
         cancel->ShouldStop()) {
       break;
+    }
+    if (round_hook != nullptr && frontier.round() != round) {
+      // The popped node's scheduled flag is already cleared; leaving its
+      // residue unpushed is the same valid intermediate as a cancel.
+      round = frontier.round();
+      if ((*round_hook)(round)) break;
     }
     const bool unconditional =
         push_seeds_unconditionally && frontier.round() == 0;
@@ -152,13 +160,15 @@ PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
                            NodeId source, Score r_max,
                            std::span<const NodeId> seeds,
                            bool push_seeds_unconditionally, PushState& state,
-                           PushOrder order, const CancellationToken* cancel) {
+                           PushOrder order, const CancellationToken* cancel,
+                           const PushRoundHook* round_hook) {
   if (order == PushOrder::kMaxResidueFirst) {
     return ForwardSearchMaxFirst(graph, config, source, r_max, seeds,
                                  push_seeds_unconditionally, state, cancel);
   }
   return ForwardSearchLevelSync(graph, config, source, r_max, seeds,
-                                push_seeds_unconditionally, state, cancel);
+                                push_seeds_unconditionally, state, cancel,
+                                round_hook);
 }
 
 }  // namespace resacc

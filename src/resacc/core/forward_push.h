@@ -2,6 +2,7 @@
 #define RESACC_CORE_FORWARD_PUSH_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "resacc/core/push_state.h"
@@ -59,6 +60,16 @@ enum class PushOrder {
   kMaxResidueFirst,
 };
 
+// Invoked by the level-synchronous search each time the Frontier promotes
+// to a new round (before any node of that round is pushed). Returning true
+// stops the search there; the state is a valid intermediate exactly as
+// with cancellation. The top-k solver hangs its separation check here —
+// round boundaries are the only points whose position in the processing
+// sequence is a pure function of the scheduled (node, round) pairs, which
+// is what keeps batched-lane replays bit-identical to serial.
+// Ignored by kMaxResidueFirst (no round structure).
+using PushRoundHook = std::function<bool(std::size_t round)>;
+
 // Queue-driven forward search (Algorithm 1, generalized):
 //  * `seeds` are enqueued first; when `push_seeds_unconditionally` they
 //    are pushed even if below threshold (OMFWD seeds the accumulated
@@ -76,7 +87,8 @@ PushStats RunForwardSearch(const Graph& graph, const RwrConfig& config,
                            std::span<const NodeId> seeds,
                            bool push_seeds_unconditionally, PushState& state,
                            PushOrder order = PushOrder::kFifo,
-                           const CancellationToken* cancel = nullptr);
+                           const CancellationToken* cancel = nullptr,
+                           const PushRoundHook* round_hook = nullptr);
 
 }  // namespace resacc
 

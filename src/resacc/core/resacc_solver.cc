@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "resacc/core/omfwd.h"
+#include "resacc/core/topk_solve.h"
 #include "resacc/obs/metrics_registry.h"
 #include "resacc/obs/trace.h"
 #include "resacc/util/check.h"
@@ -120,21 +121,6 @@ ControlledQueryResult ResAccSolver::QueryControlled(
     return result;
   }
 
-  // Phase 1: h-HopFWD. The No-SG ablation accumulates over the whole graph;
-  // there the practical threshold is r_max^f (with r_max^hop the whole-graph
-  // search would push for days — the subgraph restriction is exactly what
-  // makes the tiny threshold affordable).
-  if (options_.phase_hook) options_.phase_hook("hhop");
-  Timer phase;
-  HHopFwdOptions hhop_options;
-  hhop_options.r_max_hop =
-      options_.use_hop_subgraph ? options_.r_max_hop : r_max_f_;
-  hhop_options.num_hops = options_.num_hops;
-  hhop_options.use_loop_accumulation = options_.use_loop_accumulation;
-  hhop_options.use_hop_subgraph = options_.use_hop_subgraph;
-  hhop_options.max_hop_set_fraction = options_.max_hop_set_fraction;
-  hhop_options.cancel = cancel;
-
   // Partial result on an early stop: the reserves accumulated so far.
   // pi(v) = reserve(v) + sum_u r(u) pi_u(v) holds after every push, so
   // the estimate undershoots by at most the remaining residue mass.
@@ -144,36 +130,10 @@ ControlledQueryResult ResAccSolver::QueryControlled(
     return scores;
   };
 
-  HopLayers layers;
-  {
-    RESACC_SPAN("hhop_fwd");
-    last_stats_.hhop =
-        RunHHopFwd(graph_, config_, source, hhop_options, state_, &layers);
-  }
-  last_stats_.hhop_seconds = phase.ElapsedSeconds();
-  metrics.hhop.Record(last_stats_.hhop_seconds);
-  if (ShouldStop(cancel)) {
-    result.status = cancel->StopStatus();
-    result.scores = reserves_snapshot();
-    finish(state_.ResidueSum());
-    return result;
-  }
-
-  // Phase 2: OMFWD from the accumulated frontier.
-  if (options_.phase_hook) options_.phase_hook("omfwd");
-  phase.Restart();
-  {
-    RESACC_SPAN("omfwd");
-    if (options_.use_omfwd && !layers.layers.empty()) {
-      last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
-                                        layers.layers.back(), state_, cancel);
-    }
-  }
-  last_stats_.omfwd_seconds = phase.ElapsedSeconds();
-  last_stats_.residue_sum_after_omfwd = state_.ResidueSum();
-  metrics.omfwd.Record(last_stats_.omfwd_seconds);
-  if (ShouldStop(cancel)) {
-    result.status = cancel->StopStatus();
+  // Phases 1-2: h-HopFWD + OMFWD.
+  const Status push_status = RunPushPhases(source, cancel);
+  if (!push_status.ok()) {
+    result.status = push_status;
     result.scores = reserves_snapshot();
     finish(state_.ResidueSum());
     return result;
@@ -181,7 +141,7 @@ ControlledQueryResult ResAccSolver::QueryControlled(
 
   // Phase 3: remedy (Algorithm 2 lines 5-17).
   if (options_.phase_hook) options_.phase_hook("remedy");
-  phase.Restart();
+  Timer phase;
   std::vector<Score> scores = reserves_snapshot();
   Rng query_rng = rng_.Fork(source);
   {
@@ -197,6 +157,82 @@ ControlledQueryResult ResAccSolver::QueryControlled(
   if (last_stats_.remedy.cancelled) result.status = cancel->StopStatus();
   result.scores = std::move(scores);
   finish(last_stats_.remedy.uncorrected_mass);
+  return result;
+}
+
+Status ResAccSolver::RunPushPhases(NodeId source,
+                                   const CancellationToken* cancel) {
+  SolverMetrics& metrics = SolverMetrics::Get();
+
+  // Phase 1: h-HopFWD. The No-SG ablation accumulates over the whole graph;
+  // there the practical threshold is r_max^f (with r_max^hop the whole-graph
+  // search would push for days — the subgraph restriction is exactly what
+  // makes the tiny threshold affordable).
+  if (options_.phase_hook) options_.phase_hook("hhop");
+  Timer phase;
+  HHopFwdOptions hhop_options;
+  hhop_options.r_max_hop =
+      options_.use_hop_subgraph ? options_.r_max_hop : r_max_f_;
+  hhop_options.num_hops = options_.num_hops;
+  hhop_options.use_loop_accumulation = options_.use_loop_accumulation;
+  hhop_options.use_hop_subgraph = options_.use_hop_subgraph;
+  hhop_options.max_hop_set_fraction = options_.max_hop_set_fraction;
+  hhop_options.cancel = cancel;
+
+  HopLayers layers;
+  {
+    RESACC_SPAN("hhop_fwd");
+    last_stats_.hhop =
+        RunHHopFwd(graph_, config_, source, hhop_options, state_, &layers);
+  }
+  last_stats_.hhop_seconds = phase.ElapsedSeconds();
+  metrics.hhop.Record(last_stats_.hhop_seconds);
+  if (ShouldStop(cancel)) return cancel->StopStatus();
+
+  // Phase 2: OMFWD from the accumulated frontier.
+  if (options_.phase_hook) options_.phase_hook("omfwd");
+  phase.Restart();
+  {
+    RESACC_SPAN("omfwd");
+    if (options_.use_omfwd && !layers.layers.empty()) {
+      last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
+                                        layers.layers.back(), state_, cancel);
+    }
+  }
+  last_stats_.omfwd_seconds = phase.ElapsedSeconds();
+  last_stats_.residue_sum_after_omfwd = state_.ResidueSum();
+  metrics.omfwd.Record(last_stats_.omfwd_seconds);
+  if (ShouldStop(cancel)) return cancel->StopStatus();
+  return Status::Ok();
+}
+
+TopKResult ResAccSolver::QueryTopK(NodeId source, std::size_t k,
+                                   const QueryControl& control) {
+  RESACC_CHECK(source < graph_.num_nodes());
+  RESACC_SPAN("query_topk");
+  last_stats_ = ResAccQueryStats();
+  Timer total;
+  const CancellationToken* cancel = control.cancel;
+
+  state_.Reset();
+  Status push_status;
+  if (ShouldStop(cancel)) {
+    // Dead on arrival: nothing ran — the whole unit of probability mass
+    // still sits on the source, uncorrected.
+    state_.SetResidue(source, 1.0);
+    push_status = cancel->StopStatus();
+  } else {
+    push_status = RunPushPhases(source, cancel);
+  }
+
+  if (options_.phase_hook) options_.phase_hook("topk");
+  Timer phase;
+  Rng query_rng = rng_.Fork(source);
+  TopKResult result = SolveTopKFromState(
+      graph_, config_, source, k, r_max_f_, options_.walk_scale,
+      options_.topk, state_, query_rng, &walk_engine_, cancel, push_status);
+  last_stats_.remedy_seconds = phase.ElapsedSeconds();
+  last_stats_.total_seconds = total.ElapsedSeconds();
   return result;
 }
 

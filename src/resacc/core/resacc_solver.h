@@ -12,6 +12,7 @@
 #include "resacc/core/remedy.h"
 #include "resacc/core/rwr_config.h"
 #include "resacc/core/ssrwr_algorithm.h"
+#include "resacc/core/topk.h"
 #include "resacc/graph/graph.h"
 #include "resacc/util/rng.h"
 
@@ -33,6 +34,11 @@ struct ResAccOptions {
   // Remedy walk multiplier n_scale (Appendix F); 1.0 = Theorem 3 count.
   double walk_scale = 1.0;
 
+  // Top-k refinement knobs (QueryTopK only; full queries never read
+  // them). Part of the serve-layer config hash: they shape the cached
+  // top-k payloads.
+  TopKOptions topk;
+
   // Threads for the remedy phase's walk engine (0 = hardware concurrency).
   // Changes speed only, never the scores: remedy output is bit-identical
   // for every value (see walk_engine.h), which is why this knob is NOT
@@ -45,8 +51,8 @@ struct ResAccOptions {
   bool use_hop_subgraph = true;       // false => "No-SG-ResAcc"
   bool use_omfwd = true;              // false => "No-OFD-ResAcc"
 
-  // Test hook: invoked at the start of each phase with "hhop", "omfwd" or
-  // "remedy" (same precedent as ServeOptions::dequeue_hook). Lets tests
+  // Test hook: invoked at the start of each phase with "hhop", "omfwd",
+  // "remedy" or "topk" (same precedent as ServeOptions::dequeue_hook). Lets tests
   // cancel deterministically *inside* a chosen phase instead of racing a
   // timer. Not hashed by the serve layer's config hash — hooks must not
   // change results.
@@ -87,6 +93,14 @@ class ResAccSolver : public SsrwrAlgorithm {
   ControlledQueryResult QueryControlled(NodeId source,
                                         const QueryControl& control) override;
 
+  // Bound-driven top-k (see topk_solve.h): runs the two push phases
+  // unchanged, then refines at shrinking thresholds until rank k
+  // separates — a certified result skips the remedy walks entirely; an
+  // unseparated one falls back to remedy on the refined state. The shared
+  // finish step makes BatchSolver's top-k lanes bit-identical to this.
+  TopKResult QueryTopK(NodeId source, std::size_t k,
+                       const QueryControl& control = QueryControl{}) override;
+
   // Diagnostics of the most recent Query call.
   const ResAccQueryStats& last_stats() const { return last_stats_; }
 
@@ -97,6 +111,12 @@ class ResAccSolver : public SsrwrAlgorithm {
   const ResAccOptions& options() const { return options_; }
 
  private:
+  // Phases 1-2 of Algorithm 2 (h-HopFWD + OMFWD) on state_, with the
+  // usual per-phase stats/metrics/hooks. Returns the stop status: OK when
+  // both phases completed, the token's status when one was cut short
+  // (state_ then holds the valid partial reserves/residues).
+  Status RunPushPhases(NodeId source, const CancellationToken* cancel);
+
   const Graph& graph_;
   RwrConfig config_;
   ResAccOptions options_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "resacc/core/topk.h"
 #include "resacc/util/cancellation.h"
 #include "resacc/util/status.h"
 #include "resacc/util/types.h"
@@ -66,6 +67,22 @@ class SsrwrAlgorithm {
     (void)control;
     ControlledQueryResult result;
     result.scores = Query(source);
+    return result;
+  }
+
+  // Top-k query: the k best-scored nodes with per-entry [lower, upper]
+  // bound certificates (see TopKResult for the exact contract). The
+  // default runs a full controlled query and brackets its top-k with the
+  // epsilon-relative bounds — correct for every solver, no early exit.
+  // ResAccSolver overrides with bound-driven early termination that can
+  // skip the walk phase entirely (topk_solve.h).
+  virtual TopKResult QueryTopK(NodeId source, std::size_t k,
+                               const QueryControl& control = QueryControl{}) {
+    ControlledQueryResult full = QueryControlled(source, control);
+    TopKResult result =
+        MakeApproximateTopK(full.scores, k, full.achieved_epsilon,
+                            full.degraded, full.uncorrected_mass);
+    result.status = full.status;
     return result;
   }
 

@@ -86,6 +86,9 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
           options_.metrics_prefix + "_batched_queries_total", "",
           "Queries answered by the batched multi-source solver "
           "(gathers of >= 2 live jobs).")),
+      topk_queries_(registry_.GetCounter(
+          options_.metrics_prefix + "_topk_queries_total", "",
+          "Requests accepted in top-k mode (top_k > 0), any path.")),
       latency_(registry_.GetHistogram(
           options_.metrics_prefix + "_latency_seconds", "",
           "Submit-to-completion latency of OK responses.")),
@@ -260,17 +263,47 @@ QueryResponse QueryService::MakeResponse(const Completion& completion,
   response.queue_wait_seconds = completion.queue_wait_seconds;
   response.compute_seconds = completion.compute_seconds;
   // Graceful degradation: a deadline/cancel that fired mid-compute left a
-  // usable partial vector; a waiter that opted in takes it as OK +
-  // degraded instead of the error.
-  if (!completion.status.ok() && completion.scores != nullptr &&
+  // usable partial result (vector or top-k bracket); a waiter that opted
+  // in takes it as OK + degraded instead of the error.
+  if (!completion.status.ok() &&
+      (completion.scores != nullptr || completion.topk != nullptr) &&
       waiter.allow_degraded) {
     response.status = Status::Ok();
     response.degraded = true;
   }
-  if (response.status.ok() && completion.scores != nullptr) {
-    response.scores = completion.scores;
+  if (response.status.ok() && completion.topk != nullptr) {
+    // Top-k completion (computed, cached, or coalesced onto a top-k job).
+    // A narrower waiter gets the k-prefix view when that prefix still
+    // separates/brackets on its own; otherwise the wider stored result is
+    // handed out as-is (documented on QueryResponse::topk).
+    if (waiter.top_k > 0 && waiter.top_k < completion.topk->k &&
+        TopKPrefixSatisfies(*completion.topk, waiter.top_k)) {
+      response.topk = std::make_shared<const TopKResult>(
+          TopKPrefix(*completion.topk, waiter.top_k));
+    } else {
+      response.topk = completion.topk;
+    }
+  } else if (response.status.ok() && completion.scores != nullptr) {
     if (waiter.top_k > 0) {
-      response.top = TopKPairs(*completion.scores, waiter.top_k);
+      // Top-k waiter bridged from a full vector (full-entry cache hit or
+      // coalesced onto a full job): epsilon-bracketed approximate result.
+      const double eps = completion.achieved_epsilon > 0.0
+                             ? completion.achieved_epsilon
+                             : config_.epsilon;
+      auto bridged = std::make_shared<TopKResult>(
+          MakeApproximateTopK(*completion.scores, waiter.top_k, eps,
+                              response.degraded,
+                              completion.uncorrected_mass));
+      bridged->status = response.status;
+      response.topk = std::move(bridged);
+    } else {
+      response.scores = completion.scores;
+    }
+  }
+  if (response.topk != nullptr) {
+    response.top.reserve(response.topk->entries.size());
+    for (const TopKEntry& entry : response.topk->entries) {
+      response.top.emplace_back(entry.node, entry.estimate);
     }
   }
   response.latency_seconds = SecondsSince(waiter.submit_time);
@@ -294,9 +327,18 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
 
   // The lookup is pinned to the current content epoch: after a mutation
   // batch, entries not promoted by UpdateGraph are unreachable here.
+  // Top-k probes additionally hit a stored top-k' payload whose prefix
+  // satisfies k (result_cache.h LookupTopK).
   const CacheKey key{config_hash_, request.source, state->epoch};
-  const ResultCache::AgedValue hit = cache_.LookupWithAge(key);
-  if (hit.value != nullptr) {
+  ResultCache::AgedTopK hit;
+  if (request.top_k > 0) {
+    hit = cache_.LookupTopK(key, request.top_k);
+  } else {
+    const ResultCache::AgedValue full = cache_.LookupWithAge(key);
+    hit.scores = full.value;
+    hit.age_seconds = full.age_seconds;
+  }
+  if (hit.scores != nullptr || hit.topk != nullptr) {
     const bool fresh = options_.cache_ttl_seconds <= 0.0 ||
                        hit.age_seconds <= options_.cache_ttl_seconds;
     // Admission control: a stale entry is normally recomputed, but once
@@ -311,12 +353,14 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
       waiter.top_k = request.top_k;
       waiter.submit_time = t0;
       Completion completion;
-      completion.scores = hit.value;
+      completion.scores = hit.scores;
+      completion.topk = hit.topk;
       QueryResponse response = MakeResponse(completion, waiter);
       response.cache_hit = true;
       response.stale = !fresh;
       submitted_.Increment();
       completed_.Increment();
+      if (request.top_k > 0) topk_queries_.Increment();
       if (!fresh) stale_served_.Increment();
       latency_.Record(response.latency_seconds);
       return ReadyResponse(std::move(response));
@@ -358,10 +402,17 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
       // request — fall through and schedule a fresh computation, which
       // replaces the in-flight entry below (FinalizeJob's identity check
       // keeps the old job from erasing it).
+      //
+      // It is also shape-checked: a full job answers any waiter, but a
+      // top-k job produces no score vector, so a full request (or one
+      // wanting a larger k) schedules a fresh computation the same way.
+      const bool shape_ok =
+          it->second->top_k == 0 ||
+          (request.top_k > 0 && it->second->top_k >= request.top_k);
       const std::uint64_t compute_epoch =
           it->second->compute_epoch.load(std::memory_order_acquire);
-      if (compute_epoch == Job::kEpochUnset ||
-          compute_epoch == graph_state_->epoch) {
+      if (shape_ok && (compute_epoch == Job::kEpochUnset ||
+                       compute_epoch == graph_state_->epoch)) {
         waiter.coalesced = true;
         if (waiter.request_id != 0) {
           by_request_id_[waiter.request_id] = it->second;
@@ -369,6 +420,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
         it->second->waiters.push_back(std::move(waiter));
         submitted_.Increment();
         coalesced_.Increment();
+        if (request.top_k > 0) topk_queries_.Increment();
         return future;
       }
     }
@@ -376,6 +428,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
 
   auto job = std::make_shared<Job>();
   job->source = request.source;
+  job->top_k = request.top_k;
   job->enqueue_time = t0;
   if (deadline_seconds > 0.0) {
     // Armed on the token relative to submission, so the same deadline
@@ -401,6 +454,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   if (options_.coalesce) inflight_[request.source] = job;
   if (request_id != 0) by_request_id_[request_id] = job;
   submitted_.Increment();
+  if (request.top_k > 0) topk_queries_.Increment();
   return future;
 }
 
@@ -531,24 +585,36 @@ void QueryService::ComputeJobs(std::size_t worker_index,
                                const std::vector<double>& queue_waits,
                                std::uint64_t epoch) {
   std::vector<ControlledQueryResult> results;
+  std::vector<TopKResult> topk_results;
   Timer compute_timer;
   if (live.size() == 1) {
+    const std::shared_ptr<Job>& j = live.front();
     QueryControl control;
-    control.cancel = &live.front()->token;
-    results.push_back(solvers_[worker_index]->QueryControlled(
-        live.front()->source, control));
+    control.cancel = &j->token;
+    if (j->top_k > 0) {
+      topk_results.push_back(
+          solvers_[worker_index]->QueryTopK(j->source, j->top_k, control));
+      results.emplace_back();
+    } else {
+      results.push_back(
+          solvers_[worker_index]->QueryControlled(j->source, control));
+    }
   } else {
     // Two or more live jobs: one multi-source solve. Each lane carries
     // its own token, so a deadline or Cancel() detaches that lane alone;
-    // every lane's result is bit-identical to the serial path it
-    // replaces (batch_solver.h's contract), so which path a job took is
-    // unobservable in its answer.
+    // every lane's result — full or top-k — is bit-identical to the
+    // serial path it replaces (batch_solver.h's contract), so which path
+    // a job took is unobservable in its answer.
+    bool any_topk = false;
     std::vector<BatchLane> lanes;
     lanes.reserve(live.size());
     for (const std::shared_ptr<Job>& j : live) {
       lanes.push_back(BatchLane{j->source, &j->token});
+      lanes.back().top_k = j->top_k;
+      any_topk = any_topk || j->top_k > 0;
     }
-    results = batch_solvers_[worker_index]->QueryBatch(lanes);
+    results = batch_solvers_[worker_index]->QueryBatch(
+        lanes, any_topk ? &topk_results : nullptr);
     batched_queries_.Increment(live.size());
   }
   // The batch computes its lanes together, so the per-job compute time is
@@ -557,27 +623,41 @@ void QueryService::ComputeJobs(std::size_t worker_index,
   compute_hist_.Record(compute_seconds);
 
   for (std::size_t i = 0; i < live.size(); ++i) {
-    ControlledQueryResult& result = results[i];
     computed_.Increment();
     Completion completion;
     completion.queue_wait_seconds = queue_waits[i];
     completion.compute_seconds = compute_seconds;
-    completion.status = result.status;
-    completion.scores = std::make_shared<const std::vector<Score>>(
-        std::move(result.scores));
-    completion.degraded = result.degraded;
-    completion.achieved_epsilon = result.achieved_epsilon;
-    completion.uncorrected_mass = result.uncorrected_mass;
-    // Only full-accuracy vectors enter the cache: a degraded result is
-    // honest for the waiter that accepted it, but caching it would hand
-    // weaker answers to future requests that never opted in (and break
-    // the bit-identity-with-a-fresh-solver contract).
-    if (result.status.ok() && !result.degraded) {
-      // Inserted under the epoch the solver computed against. If the
-      // graph moved on mid-compute, that is an old epoch current lookups
-      // no longer use — the entry is stranded, never stale-served.
-      cache_.Insert(CacheKey{config_hash_, live[i]->source, epoch},
-                    completion.scores);
+    // Only full-accuracy results enter the cache (both branches below): a
+    // degraded result is honest for the waiter that accepted it, but
+    // caching it would hand weaker answers to future requests that never
+    // opted in (and break the bit-identity-with-a-fresh-solver contract).
+    // Inserts go under the epoch the solver computed against. If the
+    // graph moved on mid-compute, that is an old epoch current lookups
+    // no longer use — the entry is stranded, never stale-served.
+    if (live[i]->top_k > 0) {
+      TopKResult& tk = topk_results[i];
+      completion.status = tk.status;
+      completion.degraded = tk.degraded;
+      completion.achieved_epsilon = tk.achieved_epsilon;
+      completion.uncorrected_mass = tk.uncorrected_mass;
+      completion.topk =
+          std::make_shared<const TopKResult>(std::move(tk));
+      if (completion.status.ok() && !completion.degraded) {
+        cache_.InsertTopK(CacheKey{config_hash_, live[i]->source, epoch},
+                          completion.topk);
+      }
+    } else {
+      ControlledQueryResult& result = results[i];
+      completion.status = result.status;
+      completion.scores = std::make_shared<const std::vector<Score>>(
+          std::move(result.scores));
+      completion.degraded = result.degraded;
+      completion.achieved_epsilon = result.achieved_epsilon;
+      completion.uncorrected_mass = result.uncorrected_mass;
+      if (result.status.ok() && !result.degraded) {
+        cache_.Insert(CacheKey{config_hash_, live[i]->source, epoch},
+                      completion.scores);
+      }
     }
     FinalizeJob(live[i], completion);
   }

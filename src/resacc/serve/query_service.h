@@ -136,8 +136,11 @@ struct ServeOptions {
 
 struct QueryRequest {
   NodeId source = 0;
-  // 0 returns the full score vector only; k > 0 additionally fills
-  // QueryResponse::top with the k best (node, score) pairs.
+  // 0 requests the full score vector. k > 0 selects top-k mode: the
+  // response carries the k best entries with per-entry bound certificates
+  // (QueryResponse::topk, mirrored into ::top) and `scores` stays null —
+  // the solver terminates early on a separation certificate instead of
+  // materializing the n-vector (docs/QUERY_MODES.md "Top-k").
   std::size_t top_k = 0;
   // Relative deadline from submission; 0 falls back to the service
   // default. Coalesced requests share the leader's deadline.
@@ -157,9 +160,16 @@ struct QueryRequest {
 struct QueryResponse {
   Status status;
   // Full RWR vector, shared with the cache (immutable; eviction never
-  // invalidates it). Null unless status.ok().
+  // invalidates it). Null unless status.ok() — and null in top-k mode,
+  // where `topk` is the payload.
   std::shared_ptr<const std::vector<Score>> scores;
-  // Top-k pairs, descending score; filled when the request set top_k.
+  // Top-k mode payload: entries with bound certificates, shared with the
+  // cache. May carry MORE than top_k entries when the request coalesced
+  // onto (or hit) a wider stored top-k' whose k-prefix alone does not
+  // separate (topk->k says how many; the set is still certified/bounded
+  // as documented on TopKResult).
+  std::shared_ptr<const TopKResult> topk;
+  // Convenience (node, estimate) pairs, descending; filled in top-k mode.
   std::vector<std::pair<NodeId, Score>> top;
 
   bool cache_hit = false;
@@ -304,6 +314,10 @@ class QueryService {
     static constexpr std::uint64_t kEpochUnset = ~std::uint64_t{0};
 
     NodeId source = 0;
+    // 0 = full-vector job; > 0 = top-k job producing a TopKResult with
+    // that k. Submit only coalesces shape-compatible requests (full onto
+    // full; top-k onto full or onto top-k' with k' >= k).
+    std::size_t top_k = 0;
     CancellationToken token;
     Clock::time_point enqueue_time;
     std::vector<Waiter> waiters;
@@ -319,7 +333,11 @@ class QueryService {
   // solver outcome plus the latency split.
   struct Completion {
     Status status;
+    // Exactly one is set on a successful compute: `scores` for full jobs,
+    // `topk` for top-k jobs (a waiter coalesced across shapes is bridged
+    // in MakeResponse).
     std::shared_ptr<const std::vector<Score>> scores;
+    std::shared_ptr<const TopKResult> topk;
     bool degraded = false;
     double achieved_epsilon = 0.0;
     Score uncorrected_mass = 0.0;
@@ -406,6 +424,7 @@ class QueryService {
   Counter& invalidated_;
   Counter& cache_kept_;
   Counter& batched_queries_;
+  Counter& topk_queries_;
   LatencyHistogram& latency_;
   LatencyHistogram& queue_wait_;
   LatencyHistogram& compute_hist_;

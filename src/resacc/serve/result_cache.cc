@@ -38,6 +38,13 @@ std::uint64_t HashQueryConfig(const RwrConfig& config,
   HashValue(h, options.num_hops);
   HashValue(h, options.max_hop_set_fraction);
   HashValue(h, options.walk_scale);
+  // Top-k refinement knobs shape cached TopKResult payloads (stage
+  // schedule => which entries certify and with what bounds), so they are
+  // part of the key even though full vectors ignore them.
+  HashValue(h, options.topk.shrink);
+  HashValue(h, options.topk.min_r_max_factor);
+  HashValue(h, options.topk.max_refine_edge_factor);
+  HashValue(h, options.topk.profit_slack);
   HashValue(h, options.use_loop_accumulation);
   HashValue(h, options.use_hop_subgraph);
   HashValue(h, options.use_omfwd);
@@ -68,7 +75,9 @@ ResultCache::AgedValue ResultCache::LookupWithAge(const CacheKey& key) {
     return {};
   }
   auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  if (it == shard.index.end() || it->second->value == nullptr) {
+    // A top-k-only entry cannot answer a full-vector probe; the recompute
+    // will upgrade it via Insert.
     ++shard.misses;
     return {};
   }
@@ -78,6 +87,40 @@ ResultCache::AgedValue ResultCache::LookupWithAge(const CacheKey& key) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         it->second->inserted)
               .count()};
+}
+
+ResultCache::AgedTopK ResultCache::LookupTopK(const CacheKey& key,
+                                              std::size_t k) {
+  if (max_bytes_ == 0 || k == 0) return {};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (RESACC_FAULT("result_cache.lookup_miss")) {
+    ++shard.misses;
+    return {};
+  }
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return {};
+  }
+  Entry& entry = *it->second;
+  AgedTopK out;
+  if (entry.value != nullptr) {
+    out.scores = entry.value;
+  } else if (entry.topk != nullptr && TopKPrefixSatisfies(*entry.topk, k)) {
+    out.topk = entry.topk;
+  } else {
+    // Stored top-k' too narrow (or its certified prefix does not separate
+    // at k): recompute; InsertTopK will widen the entry.
+    ++shard.misses;
+    return {};
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  out.age_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - entry.inserted)
+                        .count();
+  return out;
 }
 
 void ResultCache::Insert(const CacheKey& key, Value value) {
@@ -93,6 +136,9 @@ void ResultCache::Insert(const CacheKey& key, Value value) {
     shard.bytes -= it->second->bytes;
     shard.bytes += bytes;
     it->second->value = std::move(value);
+    // A full vector answers strictly more probes than any top-k payload
+    // under the same key: upgrade in place.
+    it->second->topk = nullptr;
     it->second->bytes = bytes;
     it->second->inserted = now;
     // A refresh is a brand-new computation against the entry's epoch: the
@@ -103,12 +149,62 @@ void ResultCache::Insert(const CacheKey& key, Value value) {
     it->second->drift = 0.0;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(value), bytes, now});
+    Entry entry;
+    entry.key = key;
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    entry.inserted = now;
+    shard.lru.push_front(std::move(entry));
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += bytes;
     ++shard.insertions;
   }
 
+  EvictOverBudget(shard);
+}
+
+void ResultCache::InsertTopK(const CacheKey& key, TopKValue value) {
+  if (max_bytes_ == 0 || value == nullptr) return;
+  const std::size_t bytes =
+      value->entries.size() * sizeof(TopKEntry) + sizeof(TopKResult);
+  if (bytes > shard_budget_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  const auto now = std::chrono::steady_clock::now();
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Entry& entry = *it->second;
+    // Never downgrade: a resident full vector answers every top-k probe
+    // under this key, and a wider stored top-k' answers a superset of the
+    // probes this payload could. (The skipped payload may be *fresher*;
+    // the age signal then reflects the kept computation, which is the
+    // conservative direction for staleness policies.)
+    if (entry.value != nullptr) return;
+    if (entry.topk != nullptr && entry.topk->k > value->k) return;
+    shard.bytes -= entry.bytes;
+    shard.bytes += bytes;
+    entry.topk = std::move(value);
+    entry.bytes = bytes;
+    entry.inserted = now;
+    entry.drift = 0.0;  // fresh computation against this epoch (see Insert)
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    Entry entry;
+    entry.key = key;
+    entry.topk = std::move(value);
+    entry.bytes = bytes;
+    entry.inserted = now;
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+
+  EvictOverBudget(shard);
+}
+
+void ResultCache::EvictOverBudget(Shard& shard) {
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
@@ -145,7 +241,11 @@ ResultCache::InvalidationStats ResultCache::InvalidateEpoch(
       }
       bool keep = false;
       double drift = it->drift;
-      if (!flush_all && influence != nullptr) {
+      // Top-k entries (value == nullptr) are always dropped: the influence
+      // bound needs the full score vector, and a k-truncated one would
+      // understate the perturbation. Conservative, and top-k recomputes
+      // are cheap (that is the point of the mode).
+      if (!flush_all && influence != nullptr && it->value != nullptr) {
         drift += influence(*it->value);
         keep = drift <= drift_budget;  // infinite influence never passes
       }

@@ -14,6 +14,7 @@
 
 #include "resacc/core/resacc_solver.h"
 #include "resacc/core/rwr_config.h"
+#include "resacc/core/topk.h"
 #include "resacc/util/types.h"
 
 namespace resacc {
@@ -60,20 +61,24 @@ struct CacheKeyHash {
 std::uint64_t HashQueryConfig(const RwrConfig& config,
                               const ResAccOptions& options);
 
-// Sharded LRU cache of full RWR score vectors under a global byte budget.
+// Sharded LRU cache of RWR results under a global byte budget. An entry
+// holds EITHER a full score vector OR a TopKResult (never both): Insert
+// of a full vector upgrades a top-k entry in place, InsertTopK never
+// downgrades a full one (see the k-superset rules on the methods).
 //
-// Values are shared immutable vectors: a hit hands out the same
+// Values are shared immutable payloads: a hit hands out the same
 // shared_ptr the computing worker inserted, so eviction never invalidates
 // a response a client still holds. Sharding (key-hash modulo) keeps the
 // LRU mutex off the serving hot path's critical section — each shard has
 // its own lock and an equal slice of the byte budget.
 //
-// Thread-safe. Byte accounting counts the score payload only (n *
-// sizeof(Score) per entry); an entry larger than a shard's budget is
-// simply not cached.
+// Thread-safe. Byte accounting counts the payload only (n * sizeof(Score)
+// per full entry, entries * sizeof(TopKEntry) per top-k entry); an entry
+// larger than a shard's budget is simply not cached.
 class ResultCache {
  public:
   using Value = std::shared_ptr<const std::vector<Score>>;
+  using TopKValue = std::shared_ptr<const TopKResult>;
 
   struct Counters {
     std::uint64_t hits = 0;
@@ -99,15 +104,37 @@ class ResultCache {
   };
 
   // Returns the cached vector (marking the entry most-recently-used) or
-  // nullptr on miss.
+  // nullptr on miss. Top-k-only entries do NOT satisfy a full-vector
+  // lookup (they will be upgraded by the recompute's Insert).
   Value Lookup(const CacheKey& key) { return LookupWithAge(key).value; }
 
   // Lookup variant reporting the entry's age.
   AgedValue LookupWithAge(const CacheKey& key);
 
+  // A top-k probe hit: exactly one of `scores` (the entry held a full
+  // vector — a superset of any top-k) or `topk` (a stored top-k' result
+  // whose k-prefix satisfies the probe, TopKPrefixSatisfies) is set.
+  struct AgedTopK {
+    Value scores;
+    TopKValue topk;
+    double age_seconds = 0.0;
+  };
+
+  // Lookup for a top-k probe: hits a full entry outright, or a top-k'
+  // entry with k' >= k whose prefix separates (certified) / any prefix
+  // (approximate). A stored top-k' whose prefix cannot answer k counts as
+  // a miss — the caller recomputes and InsertTopK refreshes.
+  AgedTopK LookupTopK(const CacheKey& key, std::size_t k);
+
   // Inserts or refreshes `value`, evicting LRU entries as needed to stay
-  // within the shard's byte budget.
+  // within the shard's byte budget. Replaces a top-k entry under the same
+  // key (a full vector answers strictly more probes).
   void Insert(const CacheKey& key, Value value);
+
+  // Inserts a top-k result. Skipped when the key already holds a full
+  // vector (never downgrade) or a top-k' with k' > value->k (the stored
+  // entry answers a superset of probes); otherwise inserts/refreshes.
+  void InsertTopK(const CacheKey& key, TopKValue value);
 
   // Epoch transition for one configuration (dynamic graphs). Visits every
   // entry with {config_hash, epoch == old_epoch} and either
@@ -143,7 +170,8 @@ class ResultCache {
  private:
   struct Entry {
     CacheKey key;
-    Value value;
+    Value value;      // full entries: the score vector (else nullptr)
+    TopKValue topk;   // top-k entries: the certified/approximate result
     std::size_t bytes = 0;
     std::chrono::steady_clock::time_point inserted;
     // Cumulative L1 perturbation bound accrued across the epoch
@@ -162,6 +190,10 @@ class ResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
   };
+
+  // Evicts from the LRU tail until the shard is back under budget (plus
+  // the chaos eviction site). Caller holds the shard mutex.
+  void EvictOverBudget(Shard& shard);
 
   // Shard choice deliberately ignores the epoch so InvalidateEpoch can
   // rekey an entry to a new epoch without moving it across shards.

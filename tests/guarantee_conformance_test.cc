@@ -40,6 +40,7 @@
 #include "resacc/graph/graph_builder.h"
 #include "resacc/util/env.h"
 #include "resacc/util/rng.h"
+#include "resacc/util/top_k.h"
 
 namespace resacc {
 namespace {
@@ -194,6 +195,81 @@ TEST(GuaranteeConformanceTest, ForaSatisfiesDefinition1) {
 
 TEST(GuaranteeConformanceTest, MonteCarloSatisfiesDefinition1) {
   RunConformance(MakeMonteCarlo(), MakeGraphs());
+}
+
+// Top-k precision under Definition 1 (PR 8): with every relative error
+// bounded by epsilon above delta, a node can legitimately displace the
+// true k-th node only if pi(v) >= pi(k-th) * (1 - eps) / (1 + eps). A
+// returned node below that admissible threshold is a violation, held to
+// the same binomial budget as the pointwise check. Certified results
+// (ResAcc's separation certificates) additionally claim the *exact*
+// top-k, so they are audited without the epsilon slack.
+void RunTopKConformance(const SolverFactory& factory,
+                        const std::vector<ConformanceGraph>& graphs) {
+  if (GetEnvString("RESACC_CONFORMANCE", "").empty()) {
+    GTEST_SKIP() << "set RESACC_CONFORMANCE=1 to run the statistical "
+                    "conformance suite (nightly CI job)";
+  }
+  constexpr std::size_t kK = 10;
+
+  for (const ConformanceGraph& entry : graphs) {
+    const Graph& graph = entry.graph;
+    GroundTruthCache ground_truth(graph, ConformanceConfig(/*seed=*/1));
+
+    std::uint64_t checked_pairs = 0;
+    std::uint64_t violations = 0;
+
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const NodeId source =
+          static_cast<NodeId>((trial * 7) % kSourcesPerGraph);
+      const RwrConfig config = ConformanceConfig(
+          /*seed=*/0x70b0000ULL + static_cast<std::uint64_t>(trial));
+      std::unique_ptr<SsrwrAlgorithm> solver = factory(graph, config);
+      const TopKResult result = solver->QueryTopK(source, kK);
+      ASSERT_TRUE(result.status.ok());
+      ASSERT_EQ(result.entries.size(), kK);
+
+      const std::vector<Score>& exact = ground_truth.Get(source);
+      const Score kth_exact = exact[TopKIndices(exact, kK).back()];
+      if (kth_exact <= config.delta) continue;  // no guarantee below delta
+      const double admissible =
+          kth_exact * (1.0 - config.epsilon) / (1.0 + config.epsilon);
+      for (const TopKEntry& e : result.entries) {
+        ++checked_pairs;
+        if (result.certified) {
+          // Exact claim: a certified set is a true top-k modulo ties.
+          EXPECT_GE(exact[e.node] + 1e-12, kth_exact)
+              << entry.name << ": certified entry " << e.node
+              << " outside the exact top-" << kK;
+        } else if (exact[e.node] < admissible - 1e-12) {
+          ++violations;
+        }
+      }
+    }
+
+    ASSERT_GT(checked_pairs, 0u)
+        << entry.name << ": delta too large, no trial qualified";
+    const double p_f = ConformanceConfig(1).p_f;
+    const double fraction =
+        static_cast<double>(violations) / static_cast<double>(checked_pairs);
+    const double slack = 3.0 * std::sqrt(p_f * (1.0 - p_f) /
+                                         static_cast<double>(checked_pairs));
+    EXPECT_LE(fraction, p_f + slack)
+        << entry.name << ": " << violations << "/" << checked_pairs
+        << " returned top-k entries below the admissible threshold";
+  }
+}
+
+TEST(GuaranteeConformanceTest, ResAccTopKPrecision) {
+  RunTopKConformance(MakeResAcc(), MakeGraphs());
+}
+
+TEST(GuaranteeConformanceTest, ForaTopKPrecision) {
+  RunTopKConformance(MakeFora(), MakeGraphs());
+}
+
+TEST(GuaranteeConformanceTest, MonteCarloTopKPrecision) {
+  RunTopKConformance(MakeMonteCarlo(), MakeGraphs());
 }
 
 // Before trusting the statistical re-check, pin the stronger property the

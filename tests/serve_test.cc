@@ -423,21 +423,42 @@ TEST(QueryServiceTest, CacheHitOnRepeatAndTopK) {
   options.num_workers = 2;
   QueryService service(graph, TestConfig(graph), options);
 
+  // Top-k mode: the response carries bound-bracketed entries, no vector.
   const QueryResponse first = service.Query(QueryRequest{3, 5, 0.0});
   ASSERT_TRUE(first.status.ok());
   EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.scores, nullptr);
+  ASSERT_NE(first.topk, nullptr);
   ASSERT_EQ(first.top.size(), 5u);
-  // Top list is descending and consistent with the full vector.
+  // Top list is descending and mirrors the certified entries.
   EXPECT_GE(first.top[0].second, first.top[4].second);
-  EXPECT_DOUBLE_EQ((*first.scores)[first.top[0].first],
-                   first.top[0].second);
+  EXPECT_DOUBLE_EQ(first.topk->entries[0].estimate, first.top[0].second);
+  for (const TopKEntry& entry : first.topk->entries) {
+    EXPECT_LE(entry.lower, entry.estimate);
+    EXPECT_GE(entry.upper, entry.estimate);
+  }
 
   const QueryResponse second = service.Query(QueryRequest{3, 5, 0.0});
   ASSERT_TRUE(second.status.ok());
   EXPECT_TRUE(second.cache_hit);
-  EXPECT_EQ(*second.scores, *first.scores);
+  ASSERT_NE(second.topk, nullptr);
+  EXPECT_EQ(second.top, first.top);
   EXPECT_EQ(service.Snapshot().cache_hits, 1u);
   EXPECT_EQ(service.Snapshot().computed, 1u);
+
+  // A full-vector probe is not satisfiable by the stored top-k payload:
+  // it computes fresh and upgrades the entry in place, after which both
+  // shapes are cache hits.
+  const QueryResponse full = service.Query(QueryRequest{3, 0, 0.0});
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.cache_hit);
+  ASSERT_NE(full.scores, nullptr);
+  const QueryResponse third = service.Query(QueryRequest{3, 5, 0.0});
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.cache_hit);
+  ASSERT_NE(third.topk, nullptr);
+  EXPECT_EQ(third.top.size(), 5u);
+  EXPECT_EQ(service.Snapshot().computed, 2u);
 }
 
 TEST(QueryServiceTest, CoalescesIdenticalInFlightQueries) {
@@ -461,15 +482,18 @@ TEST(QueryServiceTest, CoalescesIdenticalInFlightQueries) {
 
   ASSERT_TRUE(blocked.get().status.ok());
   int coalesced = 0;
-  std::vector<Score> canonical;
+  std::vector<std::pair<NodeId, Score>> canonical;
   for (auto& future : burst) {
     QueryResponse response = future.get();
     ASSERT_TRUE(response.status.ok());
     if (response.coalesced) ++coalesced;
+    // top_k = 3 requests: every waiter shares the same top-k payload.
+    ASSERT_NE(response.topk, nullptr);
     if (canonical.empty()) {
-      canonical = *response.scores;
+      canonical = response.top;
+      ASSERT_EQ(canonical.size(), 3u);
     } else {
-      EXPECT_EQ(*response.scores, canonical);
+      EXPECT_EQ(response.top, canonical);
     }
   }
   EXPECT_EQ(coalesced, 3);  // leader + 3 attached

@@ -4,9 +4,13 @@
 // latency percentiles plus the server's own stats line.
 //
 //   loadgen --cmd="build/tools/resacc_serve graph.bin --workers=4"
-//           [--queries=1000] [--zipf=0.99] [--topk=10] [--window=16]
-//           [--closed-loop-burst=B] [--seed=7] [--mutate=F] [--chaos]
-//           [--chaos-prob=P] [--chaos-seed=S]
+//           [--queries=1000] [--zipf=0.99] [--topk=10] [--topk-mode]
+//           [--window=16] [--closed-loop-burst=B] [--seed=7] [--mutate=F]
+//           [--chaos] [--chaos-prob=P] [--chaos-seed=S]
+//
+// --topk-mode issues `topk <src> <k>` lines (the server's first-class
+// top-k query mode, docs/QUERY_MODES.md) instead of full-solve `query`
+// lines; --topk then sets the k each request asks for.
 //
 // --closed-loop-burst=B replaces the streaming window with closed-loop
 // bursts: B queries are sent together, then all B responses are drained
@@ -104,8 +108,8 @@ int main(int argc, char** argv) {
   if (command.empty()) {
     std::fprintf(stderr,
                  "usage: loadgen --cmd=\"resacc_serve <graph> [opts]\" "
-                 "[--queries=N] [--zipf=T] [--topk=K] [--window=W] "
-                 "[--seed=S]\n");
+                 "[--queries=N] [--zipf=T] [--topk=K] [--topk-mode] "
+                 "[--window=W] [--seed=S]\n");
     return 2;
   }
   const std::size_t num_queries =
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
   const double theta = args.GetDouble("zipf", 0.99);
   const std::size_t top_k =
       static_cast<std::size_t>(args.GetInt("topk", 10));
+  const bool topk_mode = args.HasFlag("topk-mode");
+  const char* query_verb = topk_mode ? "topk" : "query";
   const std::size_t window =
       static_cast<std::size_t>(args.GetInt("window", 16));
   const std::size_t burst =
@@ -163,8 +169,9 @@ int main(int argc, char** argv) {
   Rng rng(seed ^ 0x10adULL);
   const std::vector<NodeId> sources = workload.Sample(num_queries, rng);
 
-  std::printf("loadgen: %zu queries, zipf=%.2f over %lu nodes, window=%zu\n",
-              num_queries, theta, nodes, window);
+  std::printf("loadgen: %zu %s queries, zipf=%.2f over %lu nodes, "
+              "window=%zu\n",
+              num_queries, query_verb, theta, nodes, window);
 
   LatencyHistogram latency;
   // Send timestamps + operation kind, FIFO = response order. Mutations
@@ -231,7 +238,8 @@ int main(int argc, char** argv) {
       const std::size_t n = std::min(burst, num_queries - sent);
       for (std::size_t i = 0; i < n; ++i) {
         if (mutate > 0.0 && mrng.Bernoulli(mutate)) send_mutation();
-        std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
+        std::fprintf(proc.to_server, "%s %u %zu\n", query_verb, sources[sent],
+                     top_k);
         ++sent;
         in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
       }
@@ -251,7 +259,8 @@ int main(int argc, char** argv) {
           send_mutation();
           if (in_flight.size() >= window) break;
         }
-        std::fprintf(proc.to_server, "query %u %zu\n", sources[sent], top_k);
+        std::fprintf(proc.to_server, "%s %u %zu\n", query_verb, sources[sent],
+                     top_k);
         ++sent;
         in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
       }

@@ -15,6 +15,15 @@
 //   query <source> [top-k]  ->  ok <source> hit=0|1 coalesced=0|1
 //                                degraded=0|1 stale=0|1 eps=<achieved>
 //                                us=<latency> top <node>:<score> ...
+//                               (full solve; the top list is formatted
+//                                client-side from the full vector)
+//   topk <source> [k]       ->  ok <source> hit=0|1 coalesced=0|1
+//                                degraded=0|1 stale=0|1 certified=0|1
+//                                k=<k> eps=<achieved> gap=<bound-gap>
+//                                us=<latency> top <node>:<est>:<lb>:<ub> ...
+//                               (top-k mode, docs/QUERY_MODES.md: the
+//                                solver stops on a separation certificate;
+//                                each entry carries its score bracket)
 //   info                    ->  info nodes=<n> edges=<m> workers=<w>
 //                                epoch=<e> gen=<g> overlay=<rows>
 //   addedge <u> <v>         ->  ok addedge <u> <v> applied=0|1 epoch=<e>
@@ -65,6 +74,7 @@
 #include "resacc/util/args.h"
 #include "resacc/util/bounded_queue.h"
 #include "resacc/util/timer.h"
+#include "resacc/util/top_k.h"
 
 namespace {
 
@@ -79,11 +89,16 @@ struct OutputItem {
   enum class Kind { kResponse, kLiteral, kStats, kMetrics };
   Kind kind = Kind::kLiteral;
   NodeId source = 0;
+  // `query` verb: how many pairs to format from the full vector.
+  // `topk` verb (topk_mode): the response carries the entries itself.
+  std::size_t top_k = 0;
+  bool topk_mode = false;
   std::future<QueryResponse> future;
   std::string literal;
 };
 
-void PrintResponse(NodeId source, const QueryResponse& response) {
+void PrintResponse(NodeId source, std::size_t top_k,
+                   const QueryResponse& response) {
   if (!response.status.ok()) {
     std::printf("err %s\n", response.status.ToString().c_str());
     return;
@@ -93,8 +108,31 @@ void PrintResponse(NodeId source, const QueryResponse& response) {
               source, response.cache_hit ? 1 : 0, response.coalesced ? 1 : 0,
               response.degraded ? 1 : 0, response.stale ? 1 : 0,
               response.achieved_epsilon, response.latency_seconds * 1e6);
-  for (const auto& [node, score] : response.top) {
-    std::printf(" %u:%.6e", node, score);
+  if (response.scores != nullptr) {
+    for (const auto& [node, score] : TopKPairs(*response.scores, top_k)) {
+      std::printf(" %u:%.6e", node, score);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintTopKResponse(NodeId source, const QueryResponse& response) {
+  if (!response.status.ok() || response.topk == nullptr) {
+    std::printf("err %s\n", response.status.ok()
+                                ? "top-k response missing payload"
+                                : response.status.ToString().c_str());
+    return;
+  }
+  const TopKResult& tk = *response.topk;
+  std::printf("ok %u hit=%d coalesced=%d degraded=%d stale=%d certified=%d "
+              "k=%zu eps=%.3g gap=%.3e us=%.0f top",
+              source, response.cache_hit ? 1 : 0, response.coalesced ? 1 : 0,
+              response.degraded ? 1 : 0, response.stale ? 1 : 0,
+              tk.certified ? 1 : 0, tk.k, response.achieved_epsilon,
+              tk.bound_gap, response.latency_seconds * 1e6);
+  for (const TopKEntry& entry : tk.entries) {
+    std::printf(" %u:%.6e:%.6e:%.6e", entry.node, entry.estimate, entry.lower,
+                entry.upper);
   }
   std::printf("\n");
 }
@@ -254,7 +292,11 @@ int main(int argc, char** argv) {
           std::printf("%s\n", item.literal.c_str());
           break;
         case OutputItem::Kind::kResponse:
-          PrintResponse(item.source, item.future.get());
+          if (item.topk_mode) {
+            PrintTopKResponse(item.source, item.future.get());
+          } else {
+            PrintResponse(item.source, item.top_k, item.future.get());
+          }
           break;
         case OutputItem::Kind::kStats:
           std::printf("stats %s\n", service.Snapshot().ToLine().c_str());
@@ -289,15 +331,34 @@ int main(int argc, char** argv) {
         emit_literal("err malformed query line");
         continue;
       }
+      // Full-solve semantics: top_k stays 0 on the request (top-k mode is
+      // the `topk` verb); the printed top list is cut client-side.
       QueryRequest request;
       request.source = static_cast<NodeId>(source);
-      request.top_k = static_cast<std::size_t>(top_k);
       request.allow_degraded = allow_degraded;
       OutputItem item;
       item.kind = OutputItem::Kind::kResponse;
       item.source = request.source;
+      item.top_k = static_cast<std::size_t>(top_k);
       item.future = service.Submit(request);
       output.Push(std::move(item));  // blocks once `window` are in flight
+    } else if (std::strcmp(command, "topk") == 0) {
+      unsigned long source = 0;
+      unsigned long k = 10;
+      if (std::sscanf(line, "topk %lu %lu", &source, &k) < 1 || k == 0) {
+        emit_literal("err malformed topk line");
+        continue;
+      }
+      QueryRequest request;
+      request.source = static_cast<NodeId>(source);
+      request.top_k = static_cast<std::size_t>(k);
+      request.allow_degraded = allow_degraded;
+      OutputItem item;
+      item.kind = OutputItem::Kind::kResponse;
+      item.source = request.source;
+      item.topk_mode = true;
+      item.future = service.Submit(request);
+      output.Push(std::move(item));
     } else if (std::strcmp(command, "info") == 0) {
       const Graph live = view->Snapshot();
       const MutableGraphStats graph_stats = view->stats();
