@@ -51,7 +51,16 @@ REQUIRED_SECTIONS = {
         "batched-solving",
         "top-k-queries",
     ],
-    "docs/OBSERVABILITY.md": ["alerting-on-degradation"],
+    "docs/OBSERVABILITY.md": [
+        "alerting-on-degradation",
+        "per-tenant-series",
+    ],
+    "docs/WORKLOADS.md": [
+        "spec-format",
+        "tenants-and-qos",
+        "reading-bench_workloadjson",
+        "updating-the-baseline",
+    ],
     "docs/QUERY_MODES.md": [
         "full-vector-queries",
         "top-k-queries",

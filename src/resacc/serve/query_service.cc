@@ -23,6 +23,22 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Fair-queue lane weights: configured tenants in order plus the implicit
+// default lane. Empty when no tenants are configured — the queue then
+// builds its single weight-1 FIFO lane.
+std::vector<double> LaneWeights(const ServeOptions& options) {
+  std::vector<double> weights;
+  if (!options.tenant_weights.empty()) {
+    weights.reserve(options.tenant_weights.size() + 1);
+    for (const auto& [name, weight] : options.tenant_weights) {
+      (void)name;
+      weights.push_back(weight);
+    }
+    weights.push_back(1.0);  // default lane for unknown/empty tenants
+  }
+  return weights;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Graph& graph, const RwrConfig& config,
@@ -37,7 +53,8 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
       // snapshots.
       graph_state_(
           std::make_shared<const GraphState>(graph.ShallowView(), 0)),
-      queue_(std::max<std::size_t>(options.queue_capacity, 1)),
+      queue_(std::max<std::size_t>(options.queue_capacity, 1),
+             LaneWeights(options)),
       cache_(options.cache_bytes,
              std::max<std::size_t>(options.cache_shards, 1)),
       owned_registry_(options.metrics_registry
@@ -142,6 +159,42 @@ QueryService::QueryService(const Graph& graph, const RwrConfig& config,
                "Content epoch of the graph version being served.",
                [this] { return static_cast<double>(graph_epoch()); });
 
+  // Per-tenant labeled series, one set per lane (configured tenants plus
+  // the implicit default). Registered eagerly so a scrape shows every
+  // tenant from the start, zeroes included.
+  if (!options_.tenant_weights.empty()) {
+    tenant_names_.reserve(options_.tenant_weights.size() + 1);
+    for (const auto& [name, weight] : options_.tenant_weights) {
+      RESACC_CHECK(weight > 0.0);
+      RESACC_CHECK(!name.empty() && name != "default");
+      for (const std::string& seen : tenant_names_) {
+        RESACC_CHECK(seen != name);  // duplicate tenant
+      }
+      tenant_names_.push_back(name);
+    }
+    tenant_names_.push_back("default");
+    tenant_metrics_.reserve(tenant_names_.size());
+    for (const std::string& name : tenant_names_) {
+      const std::string label = "tenant=\"" + name + "\"";
+      TenantMetrics tm;
+      tm.submitted = &registry_.GetCounter(
+          prefix + "_tenant_submitted_total", label,
+          "Requests accepted, by tenant (cache hits and coalesced "
+          "included).");
+      tm.completed = &registry_.GetCounter(
+          prefix + "_tenant_completed_total", label,
+          "Requests answered OK, by tenant (any path).");
+      tm.rejected = &registry_.GetCounter(
+          prefix + "_tenant_rejected_total", label,
+          "Requests refused with kResourceExhausted because the tenant's "
+          "fair-queue lane was full.");
+      tm.latency = &registry_.GetHistogram(
+          prefix + "_tenant_latency_seconds", label,
+          "Submit-to-completion latency of OK responses, by tenant.");
+      tenant_metrics_.push_back(tm);
+    }
+  }
+
   const std::size_t workers = options.num_workers > 0
                                   ? options.num_workers
                                   : ThreadPool::DefaultThreads();
@@ -172,6 +225,16 @@ std::unique_ptr<BatchSolver> QueryService::MakeBatchSolver(
     const GraphState& state) const {
   return std::make_unique<BatchSolver>(state.graph, config_,
                                        options_.solver);
+}
+
+std::size_t QueryService::LaneFor(const std::string& tenant) const {
+  if (tenant_names_.empty()) return 0;
+  if (!tenant.empty()) {
+    for (std::size_t i = 0; i + 1 < tenant_names_.size(); ++i) {
+      if (tenant_names_[i] == tenant) return i;
+    }
+  }
+  return tenant_names_.size() - 1;  // implicit default lane
 }
 
 std::shared_ptr<const QueryService::GraphState> QueryService::CurrentState()
@@ -312,6 +375,9 @@ QueryResponse QueryService::MakeResponse(const Completion& completion,
 
 std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   const Clock::time_point t0 = Clock::now();
+  const std::size_t lane = LaneFor(request.tenant);
+  TenantMetrics* tenant =
+      tenant_metrics_.empty() ? nullptr : &tenant_metrics_[lane];
 
   if (stopped_.load(std::memory_order_relaxed)) {
     QueryResponse response;
@@ -363,6 +429,11 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
       if (request.top_k > 0) topk_queries_.Increment();
       if (!fresh) stale_served_.Increment();
       latency_.Record(response.latency_seconds);
+      if (tenant != nullptr) {
+        tenant->submitted->Increment();
+        tenant->completed->Increment();
+        tenant->latency->Record(response.latency_seconds);
+      }
       return ReadyResponse(std::move(response));
     }
     // Stale and no overload: fall through; the recompute refreshes the
@@ -374,6 +445,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   waiter.submit_time = t0;
   waiter.request_id = request.request_id;
   waiter.allow_degraded = request.allow_degraded;
+  waiter.lane = lane;
   std::future<QueryResponse> future = waiter.promise.get_future();
 
   const double deadline_seconds = request.deadline_seconds > 0.0
@@ -418,9 +490,19 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
           by_request_id_[waiter.request_id] = it->second;
         }
         it->second->waiters.push_back(std::move(waiter));
+        // A job still waiting in the queue now serves this tenant too: if
+        // this tenant's lane would schedule it sooner (higher weight /
+        // shorter backlog), move it there. Otherwise a hot source first
+        // submitted by a backlogged low-weight tenant would drag every
+        // coalesced high-weight request to the back of the slow lane —
+        // exactly the priority inversion tenant_weights exists to prevent.
+        if (compute_epoch == Job::kEpochUnset) {
+          queue_.PromoteIfSooner(it->second, lane);
+        }
         submitted_.Increment();
         coalesced_.Increment();
         if (request.top_k > 0) topk_queries_.Increment();
+        if (tenant != nullptr) tenant->submitted->Increment();
         return future;
       }
     }
@@ -441,12 +523,13 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   const std::uint64_t request_id = waiter.request_id;
   job->waiters.push_back(std::move(waiter));
 
-  if (!queue_.TryPush(job)) {
+  if (!queue_.TryPush(job, lane)) {
     rejected_.Increment();
+    if (tenant != nullptr) tenant->rejected->Increment();
     QueryResponse response;
     response.status = Status::ResourceExhausted(
-        "submission queue full (" + std::to_string(queue_.capacity()) +
-        " pending); retry later");
+        "submission queue full (" +
+        std::to_string(queue_.lane_capacity()) + " pending); retry later");
     response.latency_seconds = SecondsSince(t0);
     job->waiters.front().promise.set_value(std::move(response));
     return future;
@@ -455,6 +538,7 @@ std::future<QueryResponse> QueryService::Submit(const QueryRequest& request) {
   if (request_id != 0) by_request_id_[request_id] = job;
   submitted_.Increment();
   if (request.top_k > 0) topk_queries_.Increment();
+  if (tenant != nullptr) tenant->submitted->Increment();
   return future;
 }
 
@@ -688,6 +772,11 @@ void QueryService::FinalizeJob(const std::shared_ptr<Job>& job,
       completed_.Increment();
       if (response.degraded) degraded_.Increment();
       latency_.Record(response.latency_seconds);
+      if (!tenant_metrics_.empty()) {
+        TenantMetrics& tenant = tenant_metrics_[waiter.lane];
+        tenant.completed->Increment();
+        tenant.latency->Record(response.latency_seconds);
+      }
     } else if (response.status.code() == StatusCode::kCancelled) {
       cancelled_.Increment();
     } else {

@@ -22,7 +22,7 @@
 #include "resacc/graph/graph.h"
 #include "resacc/serve/result_cache.h"
 #include "resacc/serve/server_stats.h"
-#include "resacc/util/bounded_queue.h"
+#include "resacc/util/fair_queue.h"
 #include "resacc/util/cancellation.h"
 #include "resacc/util/histogram.h"
 #include "resacc/util/status.h"
@@ -41,8 +41,25 @@ struct ServeOptions {
 
   // Capacity of the submission queue. A Submit that finds the queue full
   // fails fast with kResourceExhausted — backpressure is explicit, never a
-  // silent drop or an unbounded buffer.
+  // silent drop or an unbounded buffer. With tenants configured (below)
+  // the capacity applies per tenant lane, so one tenant's backlog never
+  // consumes another's admission budget.
   std::size_t queue_capacity = 1024;
+
+  // Multi-tenant QoS: named tenants with scheduling weights. When
+  // non-empty, the submission queue becomes a weighted fair queue
+  // (util/fair_queue.h): each tenant gets its own bounded lane, workers
+  // dequeue in start-time-fair order, and under saturation tenant i's
+  // share of solver time is weight_i / sum(weights) — a weight-4 tenant
+  // sustains 4x a weight-1 tenant's throughput instead of whoever bursts
+  // hardest winning. Requests whose QueryRequest::tenant is empty or
+  // unknown ride an implicit "default" lane of weight 1. Each tenant
+  // (including default) also gets labeled series on the registry:
+  // `<prefix>_tenant_{submitted,completed,rejected}_total{tenant="x"}`
+  // and `<prefix>_tenant_latency_seconds{tenant="x"}`. Names must be
+  // unique and weights positive. Empty (the default) keeps the single
+  // FIFO lane and registers no tenant series.
+  std::vector<std::pair<std::string, double>> tenant_weights;
 
   // Byte budget of the result cache (score payload bytes); 0 disables
   // caching.
@@ -155,6 +172,10 @@ struct QueryRequest {
   // mid-compute: the response comes back status-OK with `degraded` set and
   // `achieved_epsilon` reporting the honest (weaker) accuracy bound.
   bool allow_degraded = false;
+  // Tenant this request bills to (ServeOptions::tenant_weights): selects
+  // its fair-queue lane and metric labels. Empty or unknown names map to
+  // the default lane. Ignored when no tenants are configured.
+  std::string tenant{};
 };
 
 struct QueryResponse {
@@ -302,6 +323,10 @@ class QueryService {
     bool coalesced = false;
     std::uint64_t request_id = 0;
     bool allow_degraded = false;
+    // Fair-queue lane / tenant the waiter bills to. A waiter coalesced
+    // onto another tenant's job still carries its own lane, so tenant
+    // metrics attribute by requester, not by whichever job computed.
+    std::size_t lane = 0;
   };
 
   // One scheduled computation; coalesced requests append Waiters. The
@@ -344,6 +369,11 @@ class QueryService {
     double queue_wait_seconds = 0.0;
     double compute_seconds = 0.0;
   };
+
+  // Lane index for a request's tenant name: configured tenants in
+  // declaration order, then the implicit default lane (also the answer
+  // for empty/unknown names). Always 0 when no tenants are configured.
+  std::size_t LaneFor(const std::string& tenant) const;
 
   std::shared_ptr<const GraphState> CurrentState() const;
   // Builds a worker's solver against `state` (factory or ResAccSolver).
@@ -392,7 +422,9 @@ class QueryService {
   // rebuilt alongside solvers_ on graph updates.
   std::vector<std::unique_ptr<BatchSolver>> batch_solvers_;
   std::vector<std::shared_ptr<const GraphState>> worker_states_;
-  BoundedQueue<std::shared_ptr<Job>> queue_;
+  // Per-tenant lanes with weighted fair service; one weight-1 lane when
+  // no tenants are configured (then it is exactly the old FIFO queue).
+  WeightedFairQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;
 
@@ -432,6 +464,16 @@ class QueryService {
   // exact and the quantiles bucket-resolution (~8%), which is enough to
   // see whether batching is forming.
   LatencyHistogram& batch_size_;
+  // Per-tenant labeled series, indexed by lane; empty when no tenants are
+  // configured. The last lane is the implicit default tenant.
+  struct TenantMetrics {
+    Counter* submitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* rejected = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+  std::vector<std::string> tenant_names_;  // lane -> name ("" pre-tenants)
+  std::vector<TenantMetrics> tenant_metrics_;
   // Callback series (cache/queue/uptime gauges) to unregister before the
   // state they borrow dies.
   std::vector<std::uint64_t> callback_ids_;

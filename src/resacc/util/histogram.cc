@@ -86,6 +86,7 @@ LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   snap.p50 = Quantile(0.50);
   snap.p95 = Quantile(0.95);
   snap.p99 = Quantile(0.99);
+  snap.p999 = Quantile(0.999);
   return snap;
 }
 

@@ -30,6 +30,10 @@ class LatencyHistogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    // Tail quantile for workload-harness regression gates; only
+    // meaningful once count is well past 1000 (below that it equals the
+    // max's bucket).
+    double p999 = 0.0;
 
     // "n=... mean=... p50/p95/p99=.../.../... max=..." with ms units.
     std::string ToString() const;

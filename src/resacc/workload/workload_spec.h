@@ -1,0 +1,89 @@
+#ifndef RESACC_WORKLOAD_WORKLOAD_SPEC_H_
+#define RESACC_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resacc/util/status.h"
+
+namespace resacc {
+
+// The five operation classes a production RWR workload mixes
+// (docs/WORKLOADS.md). The first four map onto the query modes of
+// docs/QUERY_MODES.md; kMutation is a graph write (addedge/rmedge churn)
+// riding the same stream, per the dynamic-RWR serving setting.
+enum class OpClass : std::uint8_t {
+  kFull = 0,      // full score-vector query
+  kTopK,          // top-k query with bound certificates
+  kDeadline,      // full query with a hard deadline (may expire)
+  kDegraded,      // deadline + allow_degraded (partial results accepted)
+  kMutation,      // addedge/rmedge churn
+};
+inline constexpr std::size_t kNumOpClasses = 5;
+
+// Lower-case class names, in enum order: "full", "topk", "deadline",
+// "degraded", "mutation". Used by the spec format, metric labels, and
+// BENCH_workload.json keys.
+const char* OpClassName(OpClass cls);
+// Reverse lookup; false when `name` is not a class.
+bool ParseOpClass(const std::string& name, OpClass* out);
+
+// How query sources are drawn from the node id space.
+enum class SourcePickerKind : std::uint8_t {
+  kZipfian,  // rank r with P ~ 1/r^theta over a seeded shuffle (YCSB-style)
+  kUniform,  // uniform over all nodes
+  kHotset,   // uniform over a seeded hot fraction of the nodes
+};
+
+// One tenant stream: its QoS weight, arrival model, and class mix.
+struct TenantSpec {
+  std::string name;
+  // Weighted-fair-queueing weight (ServeOptions::tenant_weights).
+  double weight = 1.0;
+  // Open-loop arrival rate in ops/second; 0 selects the closed loop.
+  double rate = 0.0;
+  // Closed-loop virtual clients (outstanding ops) when rate == 0.
+  std::size_t concurrency = 1;
+  // Relative class mix, indexed by OpClass; normalized at parse (the spec
+  // may write any positive weights). Classes not mentioned are 0.
+  std::array<double, kNumOpClasses> mix{};
+};
+
+// Declarative LinkBench-style workload: duration, source skew, and N
+// tenant streams. Parsed from the small line-oriented text format
+// documented in docs/WORKLOADS.md ("Spec format"); parsing is
+// all-or-nothing — an invalid spec yields a line-numbered error and no
+// WorkloadSpec at all, never a partially-applied one.
+struct WorkloadSpec {
+  double duration_seconds = 10.0;
+  std::uint64_t seed = 42;
+
+  SourcePickerKind picker = SourcePickerKind::kZipfian;
+  double zipf_theta = 0.99;       // kZipfian
+  double hotset_fraction = 0.01;  // kHotset
+
+  // Defaults the op classes draw from (per-tenant overrides TBD — the
+  // format reserves `top_k`/`deadline_ms` inside tenant blocks).
+  std::size_t top_k = 10;
+  double deadline_ms = 50.0;
+
+  std::vector<TenantSpec> tenants;
+
+  // Parses the text format. On error: kInvalidArgument whose message
+  // starts with "line N: ". `origin` names the source in errors (a file
+  // path; defaults to "<spec>").
+  static StatusOr<WorkloadSpec> Parse(const std::string& text,
+                                      const std::string& origin = "<spec>");
+  // Reads `path` and parses it. kNotFound when unreadable.
+  static StatusOr<WorkloadSpec> ParseFile(const std::string& path);
+
+  // The tenant index, or tenants.size() when absent.
+  std::size_t TenantIndex(const std::string& name) const;
+};
+
+}  // namespace resacc
+
+#endif  // RESACC_WORKLOAD_WORKLOAD_SPEC_H_

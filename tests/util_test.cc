@@ -10,6 +10,7 @@
 
 #include "resacc/util/alias_table.h"
 #include "resacc/util/env.h"
+#include "resacc/util/fair_queue.h"
 #include "resacc/util/histogram.h"
 #include "resacc/util/rng.h"
 #include "resacc/util/stats.h"
@@ -275,6 +276,118 @@ TEST(LatencyHistogramTest, ConcurrentRecordVsSnapshot) {
   reader.join();
   EXPECT_EQ(histogram.count(), kThreads * kPerThread);
   EXPECT_NEAR(histogram.TakeSnapshot().mean, (1e-4 + 1e-2) / 2.0, 1e-5);
+}
+
+TEST(WeightedFairQueueTest, SingleLaneIsFifoWithCapacity) {
+  WeightedFairQueue<int> queue(3, {});
+  EXPECT_EQ(queue.num_lanes(), 1u);
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));  // lane full
+  int out = 0;
+  EXPECT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.TryPush(4));  // slot freed
+  EXPECT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(queue.TryPop(out));
+}
+
+TEST(WeightedFairQueueTest, BackloggedLanesDrainByWeight) {
+  // Two saturated lanes at 4:1 — the drain order must interleave 4 heavy
+  // items per light item, and the light lane must never starve (the
+  // enqueue-time tag stamping is what guarantees this).
+  WeightedFairQueue<int> queue(64, {4.0, 1.0});
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(queue.TryPush(/*heavy marker*/ 1, 0));
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(queue.TryPush(/*light marker*/ 2, 1));
+  }
+  int heavy = 0;
+  int light = 0;
+  int out = 0;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(queue.TryPop(out));
+    (out == 1 ? heavy : light) += 1;
+  }
+  EXPECT_EQ(heavy, 20);  // 4/5 of 25
+  EXPECT_EQ(light, 5);   // 1/5 of 25
+}
+
+TEST(WeightedFairQueueTest, IdleLaneGetsNoCatchUpBurst) {
+  // Lane 1 idles while lane 0 is served, then starts pushing: it must get
+  // its steady-state half share, not a burst repaying the idle time.
+  WeightedFairQueue<int> queue(64, {1.0, 1.0});
+  int out = 0;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(queue.TryPush(1, 0));
+    ASSERT_TRUE(queue.TryPop(out));
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.TryPush(1, 0));
+    ASSERT_TRUE(queue.TryPush(2, 1));
+  }
+  int first = 0;
+  int second = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.TryPop(out));
+    (out == 1 ? first : second) += 1;
+  }
+  EXPECT_EQ(first, 5);
+  EXPECT_EQ(second, 5);
+}
+
+TEST(WeightedFairQueueTest, PromoteIfSoonerReLanesQueuedItem) {
+  WeightedFairQueue<int> queue(8, {4.0, 1.0});
+  // Backlog the light lane; the item of interest (99) sits at its tail.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(100 + i, 1));
+  ASSERT_TRUE(queue.TryPush(99, 1));
+  // Promoting into the empty heavy lane gives 99 an earlier finish: it
+  // must now be served before the light lane's older backlog.
+  EXPECT_TRUE(queue.PromoteIfSooner(99, 0));
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 99);
+  // A second promote finds nothing (already popped).
+  EXPECT_FALSE(queue.PromoteIfSooner(99, 0));
+  // A full target lane refuses the move (the item keeps its old slot).
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.TryPush(i, 0));
+  EXPECT_FALSE(queue.PromoteIfSooner(100, 0));
+  EXPECT_EQ(queue.lane_size(1), 5u);
+  // Promoting an item into the lane it already occupies is a no-op.
+  EXPECT_FALSE(queue.PromoteIfSooner(100, 1));
+  EXPECT_EQ(queue.size(), 13u);
+}
+
+TEST(WeightedFairQueueTest, CloseDrainsThenReturnsFalse) {
+  WeightedFairQueue<int> queue(8, {2.0, 1.0});
+  ASSERT_TRUE(queue.TryPush(10, 0));
+  ASSERT_TRUE(queue.TryPush(20, 1));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(30, 0));  // closed rejects pushes
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));  // queued items still drain
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_FALSE(queue.Pop(out));  // drained + closed
+}
+
+TEST(WeightedFairQueueTest, PopUnblocksOnConcurrentPush) {
+  WeightedFairQueue<int> queue(4, {1.0, 3.0});
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.TryPush(7, 1);
+  });
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 7);
+  producer.join();
 }
 
 TEST(EnvTest, ParsesAndDefaults) {

@@ -1,12 +1,21 @@
 // loadgen — load generator for resacc_serve. Spawns the server, streams a
-// Zipfian query workload through its stdin/stdout line protocol with a
-// bounded pipelining window, and reports client-side throughput and
-// latency percentiles plus the server's own stats line.
+// query workload through its stdin/stdout line protocol with a bounded
+// pipelining window, and reports client-side throughput and latency
+// percentiles plus the server's own stats line.
 //
 //   loadgen --cmd="build/tools/resacc_serve graph.bin --workers=4"
 //           [--queries=1000] [--zipf=0.99] [--topk=10] [--topk-mode]
 //           [--window=16] [--closed-loop-burst=B] [--seed=7] [--mutate=F]
+//           [--spec=FILE]
 //           [--chaos] [--chaos-prob=P] [--chaos-seed=S]
+//
+// --spec=FILE replaces the ad-hoc flags with a declarative WorkloadSpec
+// (docs/WORKLOADS.md): the spec's tenants are merged into one
+// deterministic op stream — mixed full/topk/deadline/degraded/mutation
+// classes with tenant= tokens — and replayed through the pipe for the
+// spec's duration. Pair it with a --cmd that passes --tenants=... so the
+// server actually runs the spec's QoS weights. Per-class results are
+// reported from the same accounting as bench_workload.
 //
 // --topk-mode issues `topk <src> <k>` lines (the server's first-class
 // top-k query mode, docs/QUERY_MODES.md) instead of full-solve `query`
@@ -22,9 +31,15 @@
 // --mutate=F interleaves graph mutations into the stream: each operation
 // is, with probability F, an `addedge`/`rmedge` line (edges previously
 // added by this client are preferentially removed, so the graph churns
-// rather than only growing) instead of a query. Mutation responses ride
-// the same ordered pipe; latency percentiles and the hit count are
-// reported over the query operations only.
+// rather than only growing) instead of a query. Queries and mutations get
+// separate latency histograms — mutation round-trips measure the reader
+// thread's synchronous apply, not solver time, and folding them into the
+// query percentiles would flatter the tail.
+//
+// After the run, the server's stats line is parsed for its queue-wait vs
+// compute p95 split, so a fat client-side tail is attributable: queueing
+// (raise --workers / lower the offered load) versus solving (tune the
+// config) without re-running under a profiler.
 //
 // --chaos spawns the server with deterministic fault injection armed
 // (RESACC_FAULTS=1, see util/fault_injection.h): queue rejections, forced
@@ -34,12 +49,8 @@
 // counted but tolerated, and the exit code is 0 iff no response went
 // missing.
 //
-// POSIX-only (fork/exec + pipes), like the rest of the tooling's process
-// handling; the server command is run through /bin/sh.
-
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
+// POSIX-only (fork/exec + pipes, via the workload library's
+// ProtocolClient); the server command is run through /bin/sh.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,51 +64,91 @@
 #include "resacc/util/args.h"
 #include "resacc/util/histogram.h"
 #include "resacc/util/timer.h"
+#include "resacc/workload/protocol_client.h"
+#include "resacc/workload/workload_spec.h"
 
 namespace {
 
 using namespace resacc;
 
-struct ServerProcess {
-  pid_t pid = -1;
-  FILE* to_server = nullptr;    // our writes -> server stdin
-  FILE* from_server = nullptr;  // server stdout -> our reads
-};
-
-bool Spawn(const std::string& command, ServerProcess& proc) {
-  int to_child[2];
-  int from_child[2];
-  if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
-  proc.pid = fork();
-  if (proc.pid < 0) return false;
-  if (proc.pid == 0) {
-    dup2(to_child[0], STDIN_FILENO);
-    dup2(from_child[1], STDOUT_FILENO);
-    close(to_child[0]);
-    close(to_child[1]);
-    close(from_child[0]);
-    close(from_child[1]);
-    execl("/bin/sh", "sh", "-c", command.c_str(),
-          static_cast<char*>(nullptr));
-    _exit(127);
-  }
-  close(to_child[0]);
-  close(from_child[1]);
-  proc.to_server = fdopen(to_child[1], "w");
-  proc.from_server = fdopen(from_child[0], "r");
-  return proc.to_server != nullptr && proc.from_server != nullptr;
+// Parses `key=<float>` out of the server stats line; -1 when absent.
+double StatsValue(const std::string& stats, const char* key) {
+  const char* hit = std::strstr(stats.c_str(), key);
+  if (hit == nullptr) return -1.0;
+  return std::atof(hit + std::strlen(key));
 }
 
-bool ReadLine(ServerProcess& proc, std::string& out) {
-  char buf[4096];
-  if (std::fgets(buf, sizeof(buf), proc.from_server) == nullptr) {
-    return false;
+void PrintServerSplit(const std::string& server_stats) {
+  if (server_stats.empty()) return;
+  std::printf("server:  %s\n", server_stats.c_str());
+  const double queue_wait = StatsValue(server_stats, "queue_wait_p95_ms=");
+  const double compute = StatsValue(server_stats, "compute_p95_ms=");
+  if (queue_wait >= 0.0 && compute >= 0.0) {
+    std::printf("split:   queue_wait_p95=%.3fms compute_p95=%.3fms "
+                "(server-side; fat queue wait means saturation, fat "
+                "compute means the solver)\n",
+                queue_wait, compute);
   }
-  out.assign(buf);
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
+}
+
+// --spec mode: deterministic multi-class replay through the pipe.
+int RunSpecMode(ProtocolClient& client, const std::string& spec_path,
+                NodeId nodes, std::size_t window) {
+  const StatusOr<WorkloadSpec> spec = WorkloadSpec::ParseFile(spec_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", spec.status().ToString().c_str());
+    return 2;
   }
-  return true;
+  std::printf("loadgen: spec %s, %zu tenants, %.0fs over %u nodes\n",
+              spec_path.c_str(), spec.value().tenants.size(),
+              spec.value().duration_seconds, nodes);
+  WorkloadReport report;
+  report.spec_origin = spec_path;
+  const Status run =
+      RunProtocolWorkload(spec.value(), client, nodes, window, &report);
+  if (!run.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", run.ToString().c_str());
+    return 1;
+  }
+
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  for (const OpStats& s : report.classes) {
+    rejected += s.rejected;
+    expired += s.deadline_exceeded;
+  }
+  std::printf(
+      "client:  %llu ok, %llu rejected, %llu expired, %llu errors "
+      "in %.2fs -> %.1f qps\n",
+      static_cast<unsigned long long>(report.TotalOk()),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(report.TotalErrors()),
+      report.wall_seconds,
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.TotalOk()) / report.wall_seconds
+          : 0.0);
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const OpStats& s = report.classes[c];
+    if (s.sent == 0) continue;
+    std::printf("%-9s %s hits=%llu\n", OpClassName(static_cast<OpClass>(c)),
+                s.latency.ToString().c_str(),
+                static_cast<unsigned long long>(s.cache_hits));
+  }
+  for (std::size_t t = 0; t < report.tenant_names.size(); ++t) {
+    std::printf("tenant %-10s computed_ok=%llu\n",
+                report.tenant_names[t].c_str(),
+                static_cast<unsigned long long>(report.computed_ok[t]));
+  }
+
+  client.SendLine("stats");
+  client.Flush();
+  std::string line;
+  if (client.ReadLine(line) && line.rfind("stats ", 0) == 0) {
+    PrintServerSplit(line.substr(6));
+  }
+  client.Shutdown();
+  return report.TotalErrors() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -109,7 +160,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: loadgen --cmd=\"resacc_serve <graph> [opts]\" "
                  "[--queries=N] [--zipf=T] [--topk=K] [--topk-mode] "
-                 "[--window=W] [--seed=S]\n");
+                 "[--window=W] [--seed=S] [--spec=FILE]\n");
     return 2;
   }
   const std::size_t num_queries =
@@ -126,6 +177,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 7));
   const double mutate = args.GetDouble("mutate", 0.0);
+  const std::string spec_path = args.GetString("spec", "");
   const bool chaos = args.HasFlag("chaos");
   const double chaos_prob = args.GetDouble("chaos-prob", 0.02);
   const std::uint64_t chaos_seed = static_cast<std::uint64_t>(
@@ -146,36 +198,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(chaos_seed));
   }
 
-  ServerProcess proc;
-  if (!Spawn(spawn_command, proc)) {
+  ProtocolClient client;
+  if (!client.Spawn(spawn_command).ok()) {
     std::fprintf(stderr, "loadgen: failed to spawn '%s'\n",
                  spawn_command.c_str());
     return 1;
   }
-
-  // Handshake: learn the graph size so the workload matches the server.
-  std::fprintf(proc.to_server, "info\n");
-  std::fflush(proc.to_server);
-  std::string line;
-  unsigned long nodes = 0;
-  if (!ReadLine(proc, line) ||
-      std::sscanf(line.c_str(), "info nodes=%lu", &nodes) != 1 ||
-      nodes == 0) {
-    std::fprintf(stderr, "loadgen: bad handshake: '%s'\n", line.c_str());
+  const StatusOr<NodeId> handshake = client.Handshake();
+  if (!handshake.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 handshake.status().ToString().c_str());
     return 1;
   }
+  const NodeId nodes = handshake.value();
 
-  ZipfianSources workload(static_cast<NodeId>(nodes), theta, seed);
+  if (!spec_path.empty()) {
+    return RunSpecMode(client, spec_path, nodes, window);
+  }
+
+  ZipfianSources workload(nodes, theta, seed);
   Rng rng(seed ^ 0x10adULL);
   const std::vector<NodeId> sources = workload.Sample(num_queries, rng);
 
-  std::printf("loadgen: %zu %s queries, zipf=%.2f over %lu nodes, "
+  std::printf("loadgen: %zu %s queries, zipf=%.2f over %u nodes, "
               "window=%zu\n",
               num_queries, query_verb, theta, nodes, window);
 
-  LatencyHistogram latency;
-  // Send timestamps + operation kind, FIFO = response order. Mutations
-  // share the ordered pipe but are excluded from latency/hit accounting.
+  // Per-class accounting: queries and mutations answer different
+  // questions (solver latency vs. mutation-apply round-trip), so each op
+  // kind gets its own histogram instead of sharing — or skipping — one.
+  LatencyHistogram query_latency;
+  LatencyHistogram mutation_latency;
   struct InFlight {
     Timer timer;
     bool is_query = true;
@@ -188,17 +241,18 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t hits = 0;
   Timer wall;
+  std::string line;
 
   // Edges this client added and can later remove; churn, not just growth.
   Rng mrng(seed ^ 0x0edce5ULL);
   std::vector<std::pair<NodeId, NodeId>> our_edges;
 
   auto receive_one = [&]() -> bool {
-    if (!ReadLine(proc, line)) return false;
+    if (!client.ReadLine(line)) return false;
     const InFlight& op = in_flight.front();
     const bool ok = line.rfind("ok ", 0) == 0;
     if (op.is_query) {
-      latency.Record(op.timer.ElapsedSeconds());
+      query_latency.Record(op.timer.ElapsedSeconds());
       ++received;
       if (ok) {
         if (line.find("hit=1") != std::string::npos) ++hits;
@@ -206,6 +260,7 @@ int main(int argc, char** argv) {
         ++errors;
       }
     } else {
+      mutation_latency.Record(op.timer.ElapsedSeconds());
       ++mutations;
       if (!ok) ++mutation_errors;
     }
@@ -213,6 +268,7 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  char buf[96];
   auto send_mutation = [&]() {
     const bool remove = !our_edges.empty() && mrng.Bernoulli(0.5);
     if (remove) {
@@ -220,15 +276,24 @@ int main(int argc, char** argv) {
       const auto [u, v] = our_edges[pick];
       our_edges[pick] = our_edges.back();
       our_edges.pop_back();
-      std::fprintf(proc.to_server, "rmedge %u %u\n", u, v);
+      std::snprintf(buf, sizeof(buf), "rmedge %u %u", u, v);
     } else {
       const NodeId u = static_cast<NodeId>(mrng.NextBounded(nodes));
       NodeId v = static_cast<NodeId>(mrng.NextBounded(nodes));
-      if (v == u) v = (v + 1) % static_cast<NodeId>(nodes);
+      if (v == u) v = (v + 1) % nodes;
       our_edges.emplace_back(u, v);
-      std::fprintf(proc.to_server, "addedge %u %u\n", u, v);
+      std::snprintf(buf, sizeof(buf), "addedge %u %u", u, v);
     }
+    client.SendLine(buf);
     in_flight.push_back(InFlight{Timer(), /*is_query=*/false});
+  };
+
+  auto send_query = [&]() {
+    std::snprintf(buf, sizeof(buf), "%s %u %zu", query_verb, sources[sent],
+                  top_k);
+    client.SendLine(buf);
+    ++sent;
+    in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
   };
 
   if (burst > 1) {
@@ -238,12 +303,9 @@ int main(int argc, char** argv) {
       const std::size_t n = std::min(burst, num_queries - sent);
       for (std::size_t i = 0; i < n; ++i) {
         if (mutate > 0.0 && mrng.Bernoulli(mutate)) send_mutation();
-        std::fprintf(proc.to_server, "%s %u %zu\n", query_verb, sources[sent],
-                     top_k);
-        ++sent;
-        in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
+        send_query();
       }
-      std::fflush(proc.to_server);
+      client.Flush();
       while (!in_flight.empty()) {
         if (!receive_one()) {
           std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
@@ -259,12 +321,9 @@ int main(int argc, char** argv) {
           send_mutation();
           if (in_flight.size() >= window) break;
         }
-        std::fprintf(proc.to_server, "%s %u %zu\n", query_verb, sources[sent],
-                     top_k);
-        ++sent;
-        in_flight.push_back(InFlight{Timer(), /*is_query=*/true});
+        send_query();
       }
-      std::fflush(proc.to_server);
+      client.Flush();
       if (!receive_one()) {
         std::fprintf(stderr, "loadgen: server closed after %zu responses\n",
                      received + mutations);
@@ -274,33 +333,29 @@ int main(int argc, char** argv) {
   }
   const double elapsed = wall.ElapsedSeconds();
 
-  std::fprintf(proc.to_server, "stats\nquit\n");
-  std::fflush(proc.to_server);
+  client.SendLine("stats");
+  client.Flush();
   std::string server_stats;
-  if (ReadLine(proc, line) && line.rfind("stats ", 0) == 0) {
+  if (client.ReadLine(line) && line.rfind("stats ", 0) == 0) {
     server_stats = line.substr(6);
   }
-  fclose(proc.to_server);
-  fclose(proc.from_server);
-  int wstatus = 0;
-  waitpid(proc.pid, &wstatus, 0);
+  client.Shutdown();
 
-  const LatencyHistogram::Snapshot snap = latency.TakeSnapshot();
+  const LatencyHistogram::Snapshot snap = query_latency.TakeSnapshot();
   std::printf("client:  %zu ok, %zu errors in %.2fs -> %.1f qps\n",
               received - errors, errors, elapsed,
               static_cast<double>(received) / elapsed);
-  if (mutations > 0) {
-    std::printf("mutate:  %zu mutations interleaved (%zu errors)\n",
-                mutations, mutation_errors);
-  }
   std::printf("latency: %s\n", snap.ToString().c_str());
+  if (mutations > 0) {
+    const LatencyHistogram::Snapshot msnap = mutation_latency.TakeSnapshot();
+    std::printf("mutate:  %s (%zu errors)\n", msnap.ToString().c_str(),
+                mutation_errors);
+  }
   std::printf("hits:    %zu/%zu (%.1f%%)\n", hits, received,
               received > 0 ? 100.0 * static_cast<double>(hits) /
                                  static_cast<double>(received)
                            : 0.0);
-  if (!server_stats.empty()) {
-    std::printf("server:  %s\n", server_stats.c_str());
-  }
+  PrintServerSplit(server_stats);
   // Chaos asserts liveness, not a spotless log: injected faults surface as
   // err lines (queue rejections, deadline expiries), but every query got a
   // response and the receive loop above would have exited 1 otherwise.

@@ -9,6 +9,13 @@
 //                [--stats-interval=SECONDS] [--compact-threshold=R]
 //                [--snapshot-prefix=PATH]
 //                [--invalidation=targeted|flush] [--invalidation-slack=S]
+//                [--tenants=name:weight,...]
+//
+// --tenants configures multi-tenant QoS (ServeOptions::tenant_weights):
+// each named tenant gets its own bounded admission lane and a weighted
+// fair share of the workers; requests name their tenant with a trailing
+// `tenant=<name>` token (below). Unknown or absent tenants ride the
+// implicit weight-1 default lane.
 //
 // Protocol (one request per line on stdin, one response line on stdout,
 // responses in request order):
@@ -36,6 +43,13 @@
 //   quit                    ->  bye (and exit 0)
 //   anything else           ->  err <message>
 //
+// `query` and `topk` lines accept optional trailing tokens after the
+// positional fields, in any order (the workload harness emits these —
+// docs/WORKLOADS.md):
+//   tenant=<name>       bill the request to this tenant's lane
+//   deadline_ms=<D>     per-request deadline overriding --deadline-ms
+//   degraded=1          accept a deadline-truncated partial result
+//
 // Mutations (docs/API.md "Dynamic graphs") are applied synchronously in
 // the reader thread before later lines are parsed, so a query sent after
 // a mutation always sees it. applied=0 means the mutation validated but
@@ -58,6 +72,7 @@
 // stop-and-wait client still gets each answer immediately.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -96,6 +111,33 @@ struct OutputItem {
   std::future<QueryResponse> future;
   std::string literal;
 };
+
+// Optional trailing tokens on query/topk lines (tenant=, deadline_ms=,
+// degraded=1). Order-independent; unknown words are ignored so the verb
+// grammar stays forward-compatible.
+struct LineTokens {
+  std::string tenant;
+  double deadline_seconds = 0.0;
+  bool allow_degraded = false;
+};
+
+LineTokens ParseLineTokens(const char* line) {
+  LineTokens tokens;
+  if (const char* p = std::strstr(line, "deadline_ms=")) {
+    tokens.deadline_seconds = std::atof(p + 12) / 1e3;
+  }
+  if (std::strstr(line, "degraded=1") != nullptr) {
+    tokens.allow_degraded = true;
+  }
+  if (const char* p = std::strstr(line, "tenant=")) {
+    p += 7;
+    while (*p != '\0' && *p != ' ' && *p != '\t' && *p != '\n' &&
+           *p != '\r') {
+      tokens.tenant.push_back(*p++);
+    }
+  }
+  return tokens;
+}
 
 void PrintResponse(NodeId source, std::size_t top_k,
                    const QueryResponse& response) {
@@ -236,6 +278,29 @@ int main(int argc, char** argv) {
           ? ServeOptions::InvalidationMode::kFlushAll
           : ServeOptions::InvalidationMode::kTargeted;
   options.invalidation_slack = args.GetDouble("invalidation-slack", 0.5);
+  // Multi-tenant QoS: --tenants=gold:4,bronze:1 maps each name to a fair
+  // queue lane with that weight (see the header comment's protocol notes).
+  const std::string tenants_flag = args.GetString("tenants", "");
+  for (std::size_t pos = 0; pos < tenants_flag.size();) {
+    std::size_t comma = tenants_flag.find(',', pos);
+    if (comma == std::string::npos) comma = tenants_flag.size();
+    const std::string item = tenants_flag.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    const std::string name =
+        colon == std::string::npos ? item : item.substr(0, colon);
+    const double weight =
+        colon == std::string::npos
+            ? 1.0
+            : std::atof(item.c_str() + colon + 1);
+    if (name.empty() || name == "default" || !(weight > 0.0)) {
+      std::fprintf(stderr, "resacc_serve: bad --tenants item '%s'\n",
+                   item.c_str());
+      return 2;
+    }
+    options.tenant_weights.emplace_back(name, weight);
+  }
 
   // The live-graph layer: mutations go through the view; the service is
   // re-pointed at a fresh epoch snapshot after every applied batch. Held
@@ -333,9 +398,12 @@ int main(int argc, char** argv) {
       }
       // Full-solve semantics: top_k stays 0 on the request (top-k mode is
       // the `topk` verb); the printed top list is cut client-side.
+      const LineTokens tokens = ParseLineTokens(line);
       QueryRequest request;
       request.source = static_cast<NodeId>(source);
-      request.allow_degraded = allow_degraded;
+      request.deadline_seconds = tokens.deadline_seconds;
+      request.allow_degraded = allow_degraded || tokens.allow_degraded;
+      request.tenant = tokens.tenant;
       OutputItem item;
       item.kind = OutputItem::Kind::kResponse;
       item.source = request.source;
@@ -349,10 +417,13 @@ int main(int argc, char** argv) {
         emit_literal("err malformed topk line");
         continue;
       }
+      const LineTokens tokens = ParseLineTokens(line);
       QueryRequest request;
       request.source = static_cast<NodeId>(source);
       request.top_k = static_cast<std::size_t>(k);
-      request.allow_degraded = allow_degraded;
+      request.deadline_seconds = tokens.deadline_seconds;
+      request.allow_degraded = allow_degraded || tokens.allow_degraded;
+      request.tenant = tokens.tenant;
       OutputItem item;
       item.kind = OutputItem::Kind::kResponse;
       item.source = request.source;
