@@ -66,6 +66,7 @@ REQUIRED_SECTIONS = {
         "top-k-queries",
         "degraded-and-partial-results",
         "batched-queries",
+        "hybrid-localdense-solving",
         "deadline-bound-queries",
         "epoch-pinned-queries-under-mutation",
     ],
@@ -74,6 +75,7 @@ REQUIRED_SECTIONS = {
         "dynamic-graphs-delta-overlay-epochs-compaction",
         "batched-solving-shared-frontier-simd-lanes",
         "top-k-bound-based-early-termination",
+        "hybrid-localdense-solving",
     ],
 }
 

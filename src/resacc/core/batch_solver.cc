@@ -7,6 +7,7 @@
 
 #include "resacc/core/forward_push.h"
 #include "resacc/core/h_hop_fwd.h"
+#include "resacc/core/power_iter.h"
 #include "resacc/core/remedy.h"
 #include "resacc/core/topk_solve.h"
 #include "resacc/util/check.h"
@@ -166,6 +167,7 @@ std::vector<ControlledQueryResult> BatchSolver::QueryBatch(
                    ? ~LaneMask{0}
                    : ((LaneMask{1} << num_lanes_) - 1);
   detached_mask_ = 0;
+  dense_mask_ = 0;
 
   std::vector<ControlledQueryResult> results(num_lanes_);
   switch (backend_) {
@@ -466,14 +468,43 @@ void BatchSolver::SharedRounds(Score r_max, std::span<LaneRun> runs,
   constexpr std::size_t kRowAhead = 12;
   constexpr std::size_t kDepositAhead = 3;
   constexpr std::size_t kDepositFanout = 16;
+  // Hybrid selection point 2 (ResAcc backend only): the serial solver's
+  // OMFWD round hook compares the remedy cost of the outstanding residues
+  // against the dense bound at every wavefront promotion. A lane's
+  // promotion point in the shared sweep is its first pop of each round
+  // (rounds are barriers, so all of the lane's previous-round pushes are
+  // done and none of the new round's), and LaneResidueSum replays the
+  // serial ResidueSum's summation order — identical doubles, identical
+  // decision. A lane that switches is masked out from this pop on, exactly
+  // where the serial search would have stopped (before the popped node's
+  // gate re-check).
+  const bool hybrid_on = backend_ == Backend::kResAcc &&
+                         resacc_options_.hybrid.enable &&
+                         resacc_options_.use_hop_subgraph;
+  std::size_t lane_round[kMaxLanes] = {};
   std::uint64_t pops = 0;
   NodeId u = 0;
   LaneMask mask = 0;
   while (frontier.Next(&u, &mask)) {
     if ((++pops & 0x1FF) == 0) PollLanes(runs);
     ++last_stats_.shared_node_pops;
-    mask &= ~detached_mask_;
+    mask &= ~(detached_mask_ | dense_mask_);
     if (mask == 0) continue;
+    if (hybrid_on) {
+      const std::size_t round = frontier.round();
+      for (LaneMask m = mask; m != 0; m &= m - 1) {
+        const std::size_t b = BatchPushState::LaneOf(m);
+        if (lane_round[b] == round) continue;
+        lane_round[b] = round;
+        if (DenseBeatsRemedy(graph_, config_, resacc_options_.hybrid,
+                             state_.LaneResidueSum(b), walk_scale_)) {
+          runs[b].path = SolverPath::kDenseResidueMass;
+          dense_mask_ |= LaneMask{1} << b;
+          mask &= ~(LaneMask{1} << b);
+        }
+      }
+      if (mask == 0) continue;
+    }
     if (prefetch_) {
       const std::size_t pending = frontier.pending_count();
       if (pending > kRowAhead) {
@@ -526,6 +557,35 @@ void BatchSolver::FinishLane(std::size_t b, LaneRun& run,
                              ControlledQueryResult& result, TopKResult* topk) {
   if (topk != nullptr && run.top_k > 0) {
     FinishLaneTopK(b, run, result, *topk);
+    return;
+  }
+  if (backend_ == Backend::kResAcc && resacc_options_.hybrid.enable) {
+    RecordHybridSelection(run.path);
+  }
+  if (!run.detached && run.path != SolverPath::kLocal) {
+    // Dense lane: bridge reserves AND residues into the scratch state in
+    // the lane's serial touched order, then run the exact dense finish the
+    // serial QueryControlled calls — the sweep itself is RNG-free and runs
+    // in fixed CSR order, so the lane's payload is bit-identical to the
+    // serial solve at any lane count.
+    scratch_.Reset();
+    const auto dense_nodes = state_.lane_touched(b);
+    for (std::size_t i = 0; i < dense_nodes.size(); ++i) {
+      if (i + 8 < dense_nodes.size()) {
+        __builtin_prefetch(state_.ResidueRow(dense_nodes[i + 8]) + b, 0, 1);
+        __builtin_prefetch(state_.ReserveRow(dense_nodes[i + 8]) + b, 0, 1);
+      }
+      const NodeId v = dense_nodes[i];
+      scratch_.SetResidue(v, state_.ResidueRow(v)[b]);
+      scratch_.AddReserve(v, state_.ReserveRow(v)[b]);
+    }
+    DenseFinish dense = RunDenseFinish(graph_, config_, run.source, scratch_,
+                                       resacc_options_.hybrid, run.cancel);
+    result.scores = std::move(dense.scores);
+    result.degraded = dense.degraded;
+    result.uncorrected_mass = dense.uncorrected_mass;
+    result.achieved_epsilon = dense.achieved_epsilon;
+    if (dense.stats.cancelled) result.status = run.cancel->StopStatus();
     return;
   }
   result.achieved_epsilon = config_.epsilon;
@@ -592,6 +652,24 @@ void BatchSolver::FinishLaneTopK(std::size_t b, LaneRun& run,
     scratch_.SetResidue(v, state_.ResidueRow(v)[b]);
     scratch_.AddReserve(v, state_.ReserveRow(v)[b]);
   }
+  if (resacc_options_.hybrid.enable) RecordHybridSelection(run.path);
+  if (!run.detached && run.path != SolverPath::kLocal) {
+    // Dense top-k lane, the serial QueryTopK dense branch verbatim: the
+    // full dense vector is exact to an additive eps*delta, so its top-k
+    // prefix with the standard epsilon-relative brackets is a valid
+    // certificate at the configured epsilon.
+    DenseFinish dense = RunDenseFinish(graph_, config_, run.source, scratch_,
+                                       resacc_options_.hybrid, run.cancel);
+    topk = MakeApproximateTopK(dense.scores, run.top_k,
+                               dense.achieved_epsilon, dense.degraded,
+                               dense.uncorrected_mass);
+    if (dense.stats.cancelled) topk.status = run.cancel->StopStatus();
+    result.status = topk.status;
+    result.degraded = topk.degraded;
+    result.uncorrected_mass = topk.uncorrected_mass;
+    result.achieved_epsilon = topk.achieved_epsilon;
+    return;
+  }
   Status push_status;
   if (run.detached) {
     push_status = run.status;
@@ -645,20 +723,40 @@ void BatchSolver::RunResAccBatch(std::span<const BatchLane> lanes,
   hop_options.use_loop_accumulation = resacc_options_.use_loop_accumulation;
   hop_options.use_hop_subgraph = resacc_options_.use_hop_subgraph;
   hop_options.max_hop_set_fraction = resacc_options_.max_hop_set_fraction;
+  // Hybrid selection point 1 per lane, the serial RunPushPhases probe
+  // verbatim: the decision is a pure function of the BFS-derived stats
+  // (same RunHHopFwd on the same scratch state), so a lane selects the
+  // dense path exactly when its serial replay would.
+  const bool hybrid_on =
+      resacc_options_.hybrid.enable && resacc_options_.use_hop_subgraph;
   double hop_seconds = 0.0;
   for (std::size_t b = 0; b < B; ++b) {
     LaneRun& run = runs[b];
     if (run.detached) continue;
     hop_options.cancel = run.cancel;
+    if (hybrid_on) {
+      hop_options.dense_probe = [&](const HHopFwdStats& hop_stats) {
+        const SolverPath choice = ChooseFromHopStats(
+            graph_, config_, resacc_options_.hybrid, hop_options.r_max_hop,
+            hop_stats.shrink_floored,
+            static_cast<double>(hop_stats.hop_set_edges));
+        if (choice == SolverPath::kLocal) return false;
+        run.path = choice;
+        return true;
+      };
+    }
     const double lane_start = phase_timer.ElapsedSeconds();
     scratch_.Reset();
-    RunHHopFwd(graph_, config_, run.source, hop_options, scratch_,
-               &run.layers);
+    const HHopFwdStats hop_stats = RunHHopFwd(
+        graph_, config_, run.source, hop_options, scratch_, &run.layers);
     run.initialized = true;
     hop_seconds += phase_timer.ElapsedSeconds() - lane_start;
+    if (hop_stats.shrink_hops > 0 || hop_stats.shrink_floored) {
+      RecordHubShrink();
+    }
     PollLanes(runs);  // serial phase-boundary check after this lane's hop
-    if (!run.detached && resacc_options_.use_omfwd &&
-        !run.layers.layers.empty()) {
+    if (!run.detached && run.path == SolverPath::kLocal &&
+        resacc_options_.use_omfwd && !run.layers.layers.empty()) {
       run.seeds = run.layers.layers.back();
       // Algorithm 4 line 1: decreasing residue (this lane's residues),
       // ties broken by id.
@@ -714,6 +812,10 @@ void BatchSolver::RunResAccBatch(std::span<const BatchLane> lanes,
       for (NodeId v : seed_frontier_.staged()) frontier_.Schedule(v, bit);
     }
     seed_frontier_.Clear();
+    // A probe-selected dense lane carries exactly r(source) = 1 in its SoA
+    // column and schedules nothing: the shared rounds never see it, and
+    // FinishLane power-iterates it from that clean unit of mass.
+    if (run.path != SolverPath::kLocal) dense_mask_ |= bit;
   }
   last_stats_.hop_seconds = hop_seconds;
 

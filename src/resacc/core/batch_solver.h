@@ -210,6 +210,10 @@ class BatchSolver {
     bool initialized = false;         // r(source) = 1 has been planted
     bool detached = false;
     Status status;
+    // Hybrid selection outcome of this lane (core/power_iter.h): a dense
+    // lane skips the shared rounds and remedy; FinishLane hands its
+    // bridged state to the same RunDenseFinish the serial solver calls.
+    SolverPath path = SolverPath::kLocal;
   };
 
   void RunResAccBatch(std::span<const BatchLane> lanes,
@@ -294,6 +298,10 @@ class BatchSolver {
   std::size_t num_lanes_ = 0;
   LaneMask full_mask_ = 0;
   LaneMask detached_mask_ = 0;
+  // Lanes the hybrid selector handed to the dense path: masked out of the
+  // shared rounds exactly where the serial solver's round hook would have
+  // stopped its search (SharedRounds), finished densely in FinishLane.
+  LaneMask dense_mask_ = 0;
   // Per-call out-param for top-k lanes (null when the batch has none).
   std::vector<TopKResult>* topk_out_ = nullptr;
   // Software prefetch is worth its issue slots only while the SoA panels

@@ -41,10 +41,17 @@ HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
       const std::size_t cap = std::max<std::size_t>(
           1, static_cast<std::size_t>(options.max_hop_set_fraction *
                                       static_cast<double>(graph.num_nodes())));
-      while (effective_hops > 0 &&
+      // Floor the shrink at 1 hop: h = 0 left a degenerate {source} hop
+      // set whose entire mass fell to remedy walks (the hub-source
+      // degradation this floor fixes). When even the 1-hop set exceeds
+      // the cap, shrink_floored flags it for the hybrid selector.
+      while (effective_hops > 1 &&
              layers->HopSetSize(effective_hops) > cap) {
         --effective_hops;
       }
+      stats.shrink_hops = options.num_hops - effective_hops;
+      stats.shrink_floored = effective_hops >= 1 &&
+                             layers->HopSetSize(effective_hops) > cap;
       if (effective_hops < options.num_hops) {
         // Drop the unused deeper layers so layers.back() is the frontier
         // L_(h_eff+1) that OMFWD consumes.
@@ -53,13 +60,34 @@ HHopFwdStats RunHHopFwd(const Graph& graph, const RwrConfig& config,
     }
     stats.hop_set_size = layers->HopSetSize(effective_hops);
     stats.frontier_size = layers->layers.back().size();
+    for (std::size_t h = 0; h <= effective_hops && h < layers->layers.size();
+         ++h) {
+      for (NodeId v : layers->layers[h]) {
+        stats.hop_set_edges += graph.OutDegree(v);
+      }
+    }
   } else {
-    // No-SG ablation: no BFS, whole graph acts as the subgraph and the
-    // frontier is empty.
+    // No-SG ablation: no BFS runs and the whole graph acts as the
+    // subgraph, so the stats report n nodes / m edges of working set (see
+    // the header convention) with an empty frontier.
     layers->layers.assign(options.num_hops + 2, {});
     layers->distance.clear();
+    stats.hop_set_size = graph.num_nodes();
+    stats.frontier_size = 0;
+    stats.hop_set_edges = graph.num_edges();
   }
   stats.effective_hops = effective_hops;
+
+  // Hybrid selection point 1 (core/power_iter.h): with the BFS-derived
+  // stats known and nothing pushed yet, the caller can take the query
+  // dense. Seed the unit of residue mass so the state is the exact
+  // starting point of the whole computation either way.
+  if (options.use_hop_subgraph && options.dense_probe &&
+      options.dense_probe(stats)) {
+    stats.aborted_for_dense = true;
+    state.SetResidue(source, 1.0);
+    return stats;
+  }
 
   const Eligibility eligible{
       options.use_hop_subgraph ? layers : nullptr, effective_hops, source,

@@ -2,6 +2,7 @@
 #define RESACC_CORE_H_HOP_FWD_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "resacc/core/forward_push.h"
@@ -11,6 +12,8 @@
 #include "resacc/graph/hop_layers.h"
 
 namespace resacc {
+
+struct HHopFwdStats;
 
 // Tuning knobs and ablation switches of the h-HopFWD phase (Algorithm 3).
 struct HHopFwdOptions {
@@ -26,12 +29,24 @@ struct HHopFwdOptions {
   bool use_hop_subgraph = true;
   // Adaptive cap (our extension, not in the paper): if > 0, the effective
   // h shrinks to the largest value whose hop set holds at most this
-  // fraction of the graph's nodes (possibly 0: only the source pushes and
-  // L_1 becomes the frontier). Rationale: the paper's fixed h assumes
+  // fraction of the graph's nodes, floored at 1 hop — shrinking to 0 left
+  // a degenerate {source} hop set whose entire mass fell to remedy walks.
+  // When even the 1-hop set exceeds the cap the shrink is "floored"
+  // (HHopFwdStats::shrink_floored) and the hybrid selector treats that as
+  // a dense-path trigger. Rationale: the paper's fixed h assumes
   // |V_h-hop(s)| << n, which a hub source violates — its 1-hop set alone
   // can span a fifth of the graph, making the 1e-14-threshold
   // accumulating phase the bottleneck.
   double max_hop_set_fraction = 0.0;
+  // Hybrid selection probe (see core/power_iter.h): invoked once, after
+  // the hop-layer BFS and the adaptive cap but before any push, with the
+  // BFS-derived stats fields (effective_hops, hop_set_size, hop_set_edges,
+  // shrink_*) filled. Returning true aborts the phase for the dense path:
+  // the state is seeded with r(source) = 1 and returned untouched
+  // (aborted_for_dense set), so the caller can power-iterate from a clean
+  // unit of residue mass. Only consulted when use_hop_subgraph is on —
+  // the ablations stay on the pure local pipeline.
+  std::function<bool(const HHopFwdStats&)> dense_probe;
   // Optional cooperative stop: polled every few hundred pushes. When the
   // token fires, the accumulating phase stops where it is and the
   // loop-extrapolation (updating phase) is skipped — extrapolating from a
@@ -48,8 +63,23 @@ struct HHopFwdStats {
   double loop_count = 0;  // T: number of extrapolated accumulating phases
   Score scaler = 1.0;     // S = (1 - rho^T) / (1 - rho); see DESIGN.md
   std::uint32_t effective_hops = 0;  // h after the adaptive cap, if any
-  std::size_t hop_set_size = 0;   // |V_h-hop(s)| at the effective h
-  std::size_t frontier_size = 0;  // |L_(h+1)-hop(s)| at the effective h
+  // |V_h-hop(s)| and |L_(h+1)-hop(s)| at the effective h. Convention for
+  // the No-SG ablation (no BFS runs): the whole graph acts as the
+  // subgraph, so hop_set_size reports n and frontier_size 0 — the ablation
+  // benches would otherwise under-report the phase's working set.
+  std::size_t hop_set_size = 0;
+  std::size_t frontier_size = 0;
+  // Sum of out-degrees over the effective hop set — the per-wavefront edge
+  // cost the hybrid selector's LocalHopCost estimate consumes.
+  std::uint64_t hop_set_edges = 0;
+  // Adaptive-cap diagnostics: how many hops the cap shed, and whether it
+  // bottomed out at the 1-hop floor with the hop set still over the cap
+  // (the hub signature; feeds resacc_hub_shrink_total and the selector).
+  std::uint32_t shrink_hops = 0;
+  bool shrink_floored = false;
+  // The dense_probe took the query: the phase returned before any push
+  // with the state holding only r(source) = 1.
+  bool aborted_for_dense = false;
 };
 
 // Runs h-HopFWD from `source` on a Reset `state` (seeding r(s) = 1).

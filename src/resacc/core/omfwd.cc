@@ -6,7 +6,8 @@ namespace resacc {
 
 PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
                    Score r_max_f, std::vector<NodeId> frontier,
-                   PushState& state, const CancellationToken* cancel) {
+                   PushState& state, const CancellationToken* cancel,
+                   const PushRoundHook* round_hook) {
   // Algorithm 4 line 1: decreasing order of (accumulated) residue, so the
   // largest masses flow first and downstream nodes aggregate them into
   // fewer pushes. The kMaxResidueFirst work list keeps that discipline for
@@ -23,7 +24,7 @@ PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
   // PushOrder).
   return RunForwardSearch(graph, config, source, r_max_f, frontier,
                           /*push_seeds_unconditionally=*/true, state,
-                          PushOrder::kFifo, cancel);
+                          PushOrder::kFifo, cancel, round_hook);
 }
 
 }  // namespace resacc

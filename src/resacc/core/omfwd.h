@@ -17,11 +17,16 @@ namespace resacc {
 //
 // `frontier` is typically layers.back() from RunHHopFwd; it is copied and
 // sorted internally. A non-null `cancel` token stops the search early (see
-// RunForwardSearch for the partial-state contract).
+// RunForwardSearch for the partial-state contract). A non-null
+// `round_hook` fires at each wavefront-round promotion (see PushRoundHook);
+// the hybrid selector hangs its residue-mass check there — round
+// boundaries are the points where serial and batched replays see
+// bit-identical residues.
 PushStats RunOmfwd(const Graph& graph, const RwrConfig& config, NodeId source,
                    Score r_max_f, std::vector<NodeId> frontier,
                    PushState& state,
-                   const CancellationToken* cancel = nullptr);
+                   const CancellationToken* cancel = nullptr,
+                   const PushRoundHook* round_hook = nullptr);
 
 }  // namespace resacc
 

@@ -22,6 +22,7 @@ struct SolverMetrics {
   LatencyHistogram& hhop;
   LatencyHistogram& omfwd;
   LatencyHistogram& remedy;
+  LatencyHistogram& dense;
   LatencyHistogram& total;
 
   static SolverMetrics& Get() {
@@ -44,6 +45,8 @@ struct SolverMetrics {
                               "phase=\"omfwd\""),
         registry.GetHistogram("resacc_solver_phase_seconds",
                               "phase=\"remedy\""),
+        registry.GetHistogram("resacc_solver_phase_seconds",
+                              "phase=\"dense\""),
         registry.GetHistogram("resacc_solver_query_seconds", "",
                               "End-to-end single-source query latency."),
     };
@@ -109,6 +112,7 @@ ControlledQueryResult ResAccSolver::QueryControlled(
     last_stats_.total_seconds = total.ElapsedSeconds();
     metrics.queries.Increment();
     metrics.total.Record(last_stats_.total_seconds);
+    if (options_.hybrid.enable) RecordHybridSelection(last_stats_.path);
   };
 
   state_.Reset();
@@ -136,6 +140,27 @@ ControlledQueryResult ResAccSolver::QueryControlled(
     result.status = push_status;
     result.scores = reserves_snapshot();
     finish(state_.ResidueSum());
+    return result;
+  }
+
+  // Dense fallback: the selector handed this query to whole-graph power
+  // iteration (core/power_iter.h) — the drained residues become the
+  // starting alive mass, and the remedy walks are skipped entirely.
+  if (last_stats_.path != SolverPath::kLocal) {
+    if (options_.phase_hook) options_.phase_hook("dense");
+    Timer dense_phase;
+    DenseFinish dense;
+    {
+      RESACC_SPAN("dense_power_iter");
+      dense = RunDenseFinish(graph_, config_, source, state_,
+                             options_.hybrid, cancel);
+    }
+    last_stats_.dense = dense.stats;
+    last_stats_.dense_seconds = dense_phase.ElapsedSeconds();
+    metrics.dense.Record(last_stats_.dense_seconds);
+    if (dense.stats.cancelled) result.status = cancel->StopStatus();
+    result.scores = std::move(dense.scores);
+    finish(dense.uncorrected_mass);
     return result;
   }
 
@@ -179,6 +204,23 @@ Status ResAccSolver::RunPushPhases(NodeId source,
   hhop_options.max_hop_set_fraction = options_.max_hop_set_fraction;
   hhop_options.cancel = cancel;
 
+  // Hybrid selection point 1: with the hop-layer BFS done and nothing
+  // pushed yet, hand hub sources to the dense path (core/power_iter.h).
+  // The decision is a pure function of the BFS-derived stats, so a batched
+  // lane running the same RunHHopFwd selects identically.
+  const bool hybrid_on = options_.hybrid.enable && options_.use_hop_subgraph;
+  if (hybrid_on) {
+    hhop_options.dense_probe = [&](const HHopFwdStats& hop_stats) {
+      const SolverPath choice = ChooseFromHopStats(
+          graph_, config_, options_.hybrid, hhop_options.r_max_hop,
+          hop_stats.shrink_floored,
+          static_cast<double>(hop_stats.hop_set_edges));
+      if (choice == SolverPath::kLocal) return false;
+      last_stats_.path = choice;
+      return true;
+    };
+  }
+
   HopLayers layers;
   {
     RESACC_SPAN("hhop_fwd");
@@ -187,16 +229,39 @@ Status ResAccSolver::RunPushPhases(NodeId source,
   }
   last_stats_.hhop_seconds = phase.ElapsedSeconds();
   metrics.hhop.Record(last_stats_.hhop_seconds);
+  if (last_stats_.hhop.shrink_hops > 0 || last_stats_.hhop.shrink_floored) {
+    RecordHubShrink();
+  }
   if (ShouldStop(cancel)) return cancel->StopStatus();
+  // Probe fired: the state holds the clean r(s) = 1 unit for the dense
+  // sweep; OMFWD would only smear it back over the graph.
+  if (last_stats_.path != SolverPath::kLocal) return Status::Ok();
 
-  // Phase 2: OMFWD from the accumulated frontier.
+  // Phase 2: OMFWD from the accumulated frontier. At each wavefront-round
+  // boundary (selection point 2) the remedy cost of the residues still
+  // outstanding is compared against the dense bound; when remedy loses,
+  // the search stops and the drained state goes dense instead.
   if (options_.phase_hook) options_.phase_hook("omfwd");
   phase.Restart();
+  PushRoundHook round_hook;
+  const PushRoundHook* round_hook_ptr = nullptr;
+  if (hybrid_on) {
+    round_hook = [&](std::size_t) {
+      if (!DenseBeatsRemedy(graph_, config_, options_.hybrid,
+                            state_.ResidueSum(), options_.walk_scale)) {
+        return false;
+      }
+      last_stats_.path = SolverPath::kDenseResidueMass;
+      return true;
+    };
+    round_hook_ptr = &round_hook;
+  }
   {
     RESACC_SPAN("omfwd");
     if (options_.use_omfwd && !layers.layers.empty()) {
-      last_stats_.omfwd_push = RunOmfwd(graph_, config_, source, r_max_f_,
-                                        layers.layers.back(), state_, cancel);
+      last_stats_.omfwd_push =
+          RunOmfwd(graph_, config_, source, r_max_f_, layers.layers.back(),
+                   state_, cancel, round_hook_ptr);
     }
   }
   last_stats_.omfwd_seconds = phase.ElapsedSeconds();
@@ -225,6 +290,30 @@ TopKResult ResAccSolver::QueryTopK(NodeId source, std::size_t k,
     push_status = RunPushPhases(source, cancel);
   }
 
+  // Dense fallback: the full dense vector is exact to an additive
+  // eps*delta, so its top-k prefix with the standard epsilon-relative
+  // brackets is a valid certificate at the configured epsilon. Same
+  // finish as BatchSolver::FinishLaneTopK's dense branch (bit-identical).
+  if (push_status.ok() && last_stats_.path != SolverPath::kLocal) {
+    if (options_.phase_hook) options_.phase_hook("dense");
+    Timer dense_phase;
+    DenseFinish dense;
+    {
+      RESACC_SPAN("dense_power_iter");
+      dense = RunDenseFinish(graph_, config_, source, state_,
+                             options_.hybrid, cancel);
+    }
+    last_stats_.dense = dense.stats;
+    last_stats_.dense_seconds = dense_phase.ElapsedSeconds();
+    TopKResult result =
+        MakeApproximateTopK(dense.scores, k, dense.achieved_epsilon,
+                            dense.degraded, dense.uncorrected_mass);
+    if (dense.stats.cancelled) result.status = cancel->StopStatus();
+    last_stats_.total_seconds = total.ElapsedSeconds();
+    if (options_.hybrid.enable) RecordHybridSelection(last_stats_.path);
+    return result;
+  }
+
   if (options_.phase_hook) options_.phase_hook("topk");
   Timer phase;
   Rng query_rng = rng_.Fork(source);
@@ -233,6 +322,7 @@ TopKResult ResAccSolver::QueryTopK(NodeId source, std::size_t k,
       options_.topk, state_, query_rng, &walk_engine_, cancel, push_status);
   last_stats_.remedy_seconds = phase.ElapsedSeconds();
   last_stats_.total_seconds = total.ElapsedSeconds();
+  if (options_.hybrid.enable) RecordHybridSelection(last_stats_.path);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "resacc/core/h_hop_fwd.h"
+#include "resacc/core/power_iter.h"
 #include "resacc/core/push_state.h"
 #include "resacc/core/remedy.h"
 #include "resacc/core/rwr_config.h"
@@ -39,6 +40,13 @@ struct ResAccOptions {
   // top-k payloads.
   TopKOptions topk;
 
+  // Hybrid local/dense selection (core/power_iter.h): when enabled, a
+  // query whose hop set or residue mass makes the local pipeline cost
+  // more than a whole-graph power-iteration sweep is handed to the dense
+  // path instead, same (eps, delta) contract. Requires use_hop_subgraph
+  // (the ablations stay pure-local). Part of the serve-layer config hash.
+  HybridOptions hybrid;
+
   // Threads for the remedy phase's walk engine (0 = hardware concurrency).
   // Changes speed only, never the scores: remedy output is bit-identical
   // for every value (see walk_engine.h), which is why this knob is NOT
@@ -65,12 +73,18 @@ struct ResAccQueryStats {
   double hhop_seconds = 0.0;
   double omfwd_seconds = 0.0;
   double remedy_seconds = 0.0;
+  double dense_seconds = 0.0;
   double total_seconds = 0.0;
 
   HHopFwdStats hhop;
   PushStats omfwd_push;
   RemedyStats remedy;
   Score residue_sum_after_omfwd = 0.0;
+
+  // Hybrid selection outcome: which path answered and, when dense, the
+  // sweep diagnostics.
+  SolverPath path = SolverPath::kLocal;
+  PowerIterStats dense;
 };
 
 // The paper's algorithm: h-HopFWD + OMFWD + remedy (Algorithm 2). One

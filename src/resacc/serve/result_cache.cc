@@ -48,6 +48,14 @@ std::uint64_t HashQueryConfig(const RwrConfig& config,
   HashValue(h, options.use_loop_accumulation);
   HashValue(h, options.use_hop_subgraph);
   HashValue(h, options.use_omfwd);
+  // Hybrid local/dense selection knobs (core/power_iter.h): a dense
+  // answer is deterministic and a local answer carries walk noise, so the
+  // payloads differ bitwise — a cached result must never satisfy a query
+  // run under a different selection policy, tolerance or sweep cap.
+  HashValue(h, options.hybrid.enable);
+  HashValue(h, options.hybrid.cost_ratio);
+  HashValue(h, options.hybrid.tolerance);
+  HashValue(h, options.hybrid.max_iterations);
   // options.walk_threads is deliberately NOT hashed: the walk engine is
   // bit-identical for every thread count (walk_engine.h), so solvers that
   // differ only in walk_threads produce interchangeable results.

@@ -68,12 +68,18 @@ TEST(AdaptiveHopCapTest, ShrinksEffectiveHopsForHubs) {
   const HHopFwdStats stats =
       RunHHopFwd(g, config, /*source=*/0, options, state, &layers);
 
-  // 1-hop set = 200 nodes > 20 => effective h must drop to 0.
-  EXPECT_EQ(stats.effective_hops, 0u);
-  EXPECT_EQ(stats.hop_set_size, 1u);
-  EXPECT_EQ(stats.frontier_size, 199u);  // all leaves accumulate
-  // Frontier really is layers.back().
-  EXPECT_EQ(layers.layers.back().size(), 199u);
+  // 1-hop set = 200 nodes > 20, but the shrink floors at h = 1 (h = 0
+  // left a degenerate {source} hop set whose whole mass fell to remedy
+  // walks) and flags the floored shrink for the hybrid selector.
+  EXPECT_EQ(stats.effective_hops, 1u);
+  EXPECT_EQ(stats.hop_set_size, 200u);
+  EXPECT_EQ(stats.shrink_hops, 1u);
+  EXPECT_TRUE(stats.shrink_floored);
+  // The hub's out-edges plus every leaf's edge back: 199 + 199.
+  EXPECT_EQ(stats.hop_set_edges, 398u);
+  // L_2 is empty on a star (every leaf's neighbour is the hub).
+  EXPECT_EQ(stats.frontier_size, 0u);
+  EXPECT_EQ(layers.layers.back().size(), 0u);
   EXPECT_NEAR(state.ReserveSum() + state.ResidueSum(), 1.0, 1e-12);
 }
 

@@ -41,6 +41,7 @@
 #include "resacc/util/env.h"
 #include "resacc/util/rng.h"
 #include "resacc/util/top_k.h"
+#include "tests/test_graphs.h"
 
 namespace resacc {
 namespace {
@@ -112,6 +113,20 @@ std::vector<ConformanceGraph> MakeMutatedGraphs() {
   return graphs;
 }
 
+// Hub-heavy variant (PR 10): graphs whose low-id sources include hubs
+// with 1-hop sets spanning a large fraction of the graph — the regime
+// where the hybrid selector hands queries to the dense power-iteration
+// path. The star is the extreme (source 0 IS the hub and always goes
+// dense); the low-exponent Chung-Lu head exercises the mixed case where
+// some of the ten sources go dense and the rest stay local.
+std::vector<ConformanceGraph> MakeHubGraphs() {
+  std::vector<ConformanceGraph> graphs;
+  graphs.push_back({"star", ::resacc::testing::StarGraph(399)});
+  graphs.push_back(
+      {"chung-lu-head", ChungLuPowerLaw(400, 4000, 2.0, /*seed=*/17)});
+  return graphs;
+}
+
 using SolverFactory = std::function<std::unique_ptr<SsrwrAlgorithm>(
     const Graph&, const RwrConfig&)>;
 
@@ -173,6 +188,18 @@ SolverFactory MakeResAcc() {
   };
 }
 
+// ResAcc with the hybrid local/dense selector on (core/power_iter.h):
+// Definition 1 must hold regardless of which path answers — the dense
+// path's guarantee is deterministic, the local path's is the usual
+// statistical one, and the conformance budget covers both.
+SolverFactory MakeHybridResAcc() {
+  return [](const Graph& graph, const RwrConfig& config) {
+    ResAccOptions options;
+    options.hybrid.enable = true;
+    return std::make_unique<ResAccSolver>(graph, config, options);
+  };
+}
+
 SolverFactory MakeFora() {
   return [](const Graph& graph, const RwrConfig& config) {
     return std::make_unique<Fora>(graph, config);
@@ -191,6 +218,17 @@ TEST(GuaranteeConformanceTest, ResAccSatisfiesDefinition1) {
 
 TEST(GuaranteeConformanceTest, ForaSatisfiesDefinition1) {
   RunConformance(MakeFora(), MakeGraphs());
+}
+
+// Hub-heavy suite (PR 10): plain ResAcc must keep the guarantee on hub
+// sources (via the floored adaptive cap), and hybrid ResAcc must keep it
+// while actually switching those sources to the dense path.
+TEST(GuaranteeConformanceTest, ResAccSatisfiesDefinition1OnHubGraphs) {
+  RunConformance(MakeResAcc(), MakeHubGraphs());
+}
+
+TEST(GuaranteeConformanceTest, HybridResAccSatisfiesDefinition1OnHubGraphs) {
+  RunConformance(MakeHybridResAcc(), MakeHubGraphs());
 }
 
 TEST(GuaranteeConformanceTest, MonteCarloSatisfiesDefinition1) {

@@ -52,10 +52,14 @@ using namespace resacc;
 std::unique_ptr<SsrwrAlgorithm> MakeSolver(const std::string& name,
                                            const Graph& graph,
                                            const RwrConfig& config,
-                                           std::size_t walk_threads) {
+                                           std::size_t walk_threads,
+                                           const HybridOptions& hybrid = {}) {
   if (name == "resacc") {
     ResAccOptions options;
     options.walk_threads = walk_threads;
+    // Hybrid local/dense selection (core/power_iter.h); the other algos
+    // have no local/dense split, so the flag only applies here.
+    options.hybrid = hybrid;
     return std::make_unique<ResAccSolver>(graph, config, options);
   }
   if (name == "fora") {
@@ -184,8 +188,14 @@ int CmdQuery(const ArgParser& args, const Graph& graph) {
   }
   const std::size_t walk_threads =
       static_cast<std::size_t>(args.GetInt("walk-threads", 0));
-  auto solver =
-      MakeSolver(args.GetString("algo", "resacc"), graph, config, walk_threads);
+  // --hybrid arms the local/dense selector (resacc only): hub sources
+  // whose local cost beats --hybrid-ratio x the dense-sweep bound are
+  // answered by whole-graph power iteration, same (eps, delta) contract.
+  HybridOptions hybrid;
+  hybrid.enable = args.HasFlag("hybrid");
+  hybrid.cost_ratio = args.GetDouble("hybrid-ratio", 1.0);
+  auto solver = MakeSolver(args.GetString("algo", "resacc"), graph, config,
+                           walk_threads, hybrid);
   if (solver == nullptr) return 1;
 
   // --trace-json=FILE records the query's span tree (phase nesting and
@@ -324,6 +334,9 @@ void PrintUsage() {
       "                [--topk=K] [--alpha=A] [--epsilon=E] [--walk-threads=W]\n"
       "                (W threads for the walk phase; 0 = all cores;\n"
       "                 scores are identical for every W)\n"
+      "                [--hybrid] [--hybrid-ratio=R]\n"
+      "                (resacc only: dense power-iteration fallback for\n"
+      "                 hub sources; R scales the local-vs-dense cost bar)\n"
       "  msrwr <graph> --sources=1,2,3 [--threads=T] [--walk-threads=W]\n"
       "                (default W = cores/T, walk parallelism per solver)\n"
       "  communities <graph> [--count=C] [--print]\n"

@@ -5,6 +5,7 @@
 //                [--deadline-ms=D] [--allow-degraded] [--window=W]
 //                [--alpha=A] [--epsilon=E] [--seed=S]
 //                [--dangling=absorb|source] [--walk-threads=W]
+//                [--hybrid] [--hybrid-ratio=R]
 //                [--max-batch=B] [--batch-linger-us=U]
 //                [--stats-interval=SECONDS] [--compact-threshold=R]
 //                [--snapshot-prefix=PATH]
@@ -262,6 +263,12 @@ int main(int argc, char** argv) {
   // single-query latency — useful with --workers=1 on a big machine.
   options.solver.walk_threads =
       static_cast<std::size_t>(args.GetInt("walk-threads", 1));
+  // --hybrid arms the local/dense selector (core/power_iter.h): hub
+  // sources go to whole-graph power iteration when their local cost beats
+  // --hybrid-ratio x the dense bound. The knobs are part of the result
+  // cache's config hash, so cached entries never cross selection policies.
+  options.solver.hybrid.enable = args.HasFlag("hybrid");
+  options.solver.hybrid.cost_ratio = args.GetDouble("hybrid-ratio", 1.0);
   // Batched solving (docs/API.md "Batched solving"): a worker gathers up
   // to --max-batch queued queries — lingering --batch-linger-us for
   // stragglers — and solves them as one multi-source batch. Answers are
